@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # paella-baselines
+//!
+//! The comparison systems of the paper's Table 3, built over the same
+//! simulated GPU as Paella so that performance differences come from the
+//! architectures, not the substrate:
+//!
+//! * [`direct`] — CUDA-SS / CUDA-MS / MPS: clients submit whole jobs
+//!   directly to the (emulated) CUDA runtime.
+//! * [`triton`] — a Triton-like gRPC server (per-model backend instances,
+//!   optional dynamic batching) and a Clockwork-like one-model-at-a-time
+//!   executor.
+//!
+//! All systems implement [`paella_core::ServingSystem`] so the experiment
+//! harness drives them interchangeably.
+
+pub mod direct;
+pub mod triton;
+
+pub use direct::{DirectCuda, DirectMode};
+pub use triton::{Clockwork, Triton, TritonConfig};

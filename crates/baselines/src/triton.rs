@@ -1,0 +1,594 @@
+//! A Triton-like inference server (Table 3's reference state of the art).
+//!
+//! Architecture modelled after the paper's description and measurement
+//! setup (§2.2, §7): clients reach the server over gRPC (marshal +
+//! HTTP/2 per-message costs, per-byte serialization of tensor payloads);
+//! each model has one backend *instance* that executes requests one job at a
+//! time on its own stream; an optional dynamic batcher groups queued
+//! requests for the same model.
+
+use std::collections::VecDeque;
+
+use paella_channels::ChannelConfig;
+use paella_compiler::{CompiledModel, DeviceOp};
+use paella_core::{
+    Dispatcher, DispatcherConfig, FifoScheduler, InferenceRequest, JobCompletion, ModelId,
+    ServingSystem, StreamPolicy,
+};
+use paella_gpu::DeviceConfig;
+use paella_sim::{EventQueue, SimDuration, SimTime};
+
+/// Triton configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TritonConfig {
+    /// Maximum dynamic batch size (1 disables batching).
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests before launching a
+    /// partial batch.
+    pub batch_timeout: SimDuration,
+    /// Server-side per-request dispatch bookkeeping cost.
+    pub dispatch_cost: SimDuration,
+    /// Per-execution CPU cost of the TVM-in-TensorFlow wrapper the paper had
+    /// to build (§7 Baselines): SavedModel invocation, tensor hand-off, and
+    /// output copies, serialized on the backend.
+    pub wrapper_cost: SimDuration,
+}
+
+impl Default for TritonConfig {
+    fn default() -> Self {
+        TritonConfig {
+            max_batch: 1,
+            batch_timeout: SimDuration::from_micros(100),
+            dispatch_cost: SimDuration::from_micros(15),
+            wrapper_cost: SimDuration::from_micros(1_400),
+        }
+    }
+}
+
+struct ModelState {
+    model: CompiledModel,
+    /// Requests that cleared RPC ingress, waiting for the instance.
+    queue: VecDeque<InferenceRequest>,
+    /// Whether the single backend instance is busy.
+    busy: bool,
+    /// Requests inside the currently executing batch.
+    executing: Vec<InferenceRequest>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A request finished gRPC ingress.
+    Ingress(InferenceRequest),
+    /// Batch window expired for a model.
+    BatchTimeout(u32),
+}
+
+/// The Triton-like serving system.
+pub struct Triton {
+    cfg: TritonConfig,
+    channels: ChannelConfig,
+    backend: Dispatcher,
+    models: Vec<ModelState>,
+    events: EventQueue<Ev>,
+    completions: Vec<JobCompletion>,
+    /// Maps backend model ids (one per (model, batch-size) pair) back to
+    /// the public model id. Index = backend ModelId.0.
+    backend_models: Vec<(u32, usize)>,
+}
+
+impl Triton {
+    /// Creates a Triton-like server over a fresh device.
+    pub fn new(
+        device: DeviceConfig,
+        channels: ChannelConfig,
+        cfg: TritonConfig,
+        seed: u64,
+    ) -> Self {
+        // The TVM-in-TensorFlow backend funnels every execution through
+        // TensorFlow's single compute stream, and the wrapper's per-call CPU
+        // serializes on the server process.
+        let mut bcfg = DispatcherConfig::direct(StreamPolicy::Single);
+        bcfg.central_cpu = true;
+        bcfg.ingest_cost = cfg.wrapper_cost;
+        Triton {
+            cfg,
+            channels,
+            backend: Dispatcher::new(device, channels, Box::new(FifoScheduler::new()), bcfg, seed),
+            models: Vec::new(),
+            events: EventQueue::new(),
+            completions: Vec::new(),
+            backend_models: Vec::new(),
+        }
+    }
+
+    fn rpc_in(&self, model: usize) -> SimDuration {
+        self.channels
+            .rpc
+            .one_way(self.models[model].model.input_bytes)
+    }
+
+    fn rpc_out(&self, model: usize) -> SimDuration {
+        self.channels
+            .rpc
+            .one_way(self.models[model].model.output_bytes)
+    }
+
+    /// Builds a batch-`b` variant of a model: kernel durations scale
+    /// sub-linearly (batching amortizes fixed kernel costs), copies scale
+    /// linearly.
+    pub fn batched_model(model: &CompiledModel, b: usize) -> CompiledModel {
+        if b <= 1 {
+            return model.clone();
+        }
+        // Batch-b kernels do b× the work but amortize fixed per-kernel costs;
+        // an effective scale of 0.35 + 0.65·b matches the usual ~35 % fixed
+        // fraction of small-batch inference kernels.
+        let scale = 0.35 + 0.65 * b as f64;
+        let mut m = model.clone();
+        m.name = format!("{}@b{b}", m.name);
+        for op in &mut m.ops {
+            match op {
+                DeviceOp::Kernel(k) => {
+                    k.duration.base = k.duration.base.mul_f64(scale);
+                }
+                DeviceOp::InputCopy { bytes } | DeviceOp::OutputCopy { bytes } => {
+                    *bytes *= b;
+                }
+            }
+        }
+        m.input_bytes *= b;
+        m.output_bytes *= b;
+        m
+    }
+
+    fn try_launch(&mut self, model_idx: usize, now: SimTime) {
+        let ready = {
+            let st = &self.models[model_idx];
+            !st.busy && !st.queue.is_empty()
+        };
+        if !ready {
+            return;
+        }
+        let want = self.cfg.max_batch.max(1);
+        let have = self.models[model_idx].queue.len();
+        if have < want {
+            // Wait for more requests unless the batch window expired; arm a
+            // timeout on first queued request.
+            let oldest = self.models[model_idx]
+                .queue
+                .front()
+                .expect("non-empty")
+                .submitted_at;
+            let deadline = oldest + self.rpc_in(model_idx) + self.cfg.batch_timeout;
+            if now < deadline {
+                self.events
+                    .schedule_at(deadline.max(now), Ev::BatchTimeout(model_idx as u32));
+                return;
+            }
+        }
+        let b = have.min(want);
+        let batch: Vec<InferenceRequest> = {
+            let st = &mut self.models[model_idx];
+            st.busy = true;
+            st.queue.drain(..b).collect()
+        };
+        // Register (or reuse) the backend variant for this batch size.
+        let backend_id = self.backend_model_for(model_idx, b);
+        let lead = batch[0];
+        self.models[model_idx].executing = batch;
+        // Dispatch bookkeeping (+ batch formation cost per request).
+        let submit_at = now + self.cfg.dispatch_cost + SimDuration::from_nanos(500) * b as u64;
+        self.backend.submit(InferenceRequest {
+            client: lead.client,
+            model: backend_id,
+            submitted_at: submit_at,
+        });
+    }
+
+    fn backend_model_for(&mut self, model_idx: usize, b: usize) -> ModelId {
+        if let Some(pos) = self
+            .backend_models
+            .iter()
+            .position(|&(m, bb)| m == model_idx as u32 && bb == b)
+        {
+            return ModelId(pos as u32);
+        }
+        let variant = Self::batched_model(&self.models[model_idx].model, b);
+        let id = self.backend.register_model(&variant);
+        debug_assert_eq!(id.0 as usize, self.backend_models.len());
+        self.backend_models.push((model_idx as u32, b));
+        id
+    }
+
+    fn handle_backend_completion(&mut self, c: JobCompletion) {
+        let (model_idx, _b) = self.backend_models[c.request.model.0 as usize];
+        let model_idx = model_idx as usize;
+        let rpc_out = self.rpc_out(model_idx);
+        let batch = std::mem::take(&mut self.models[model_idx].executing);
+        self.models[model_idx].busy = false;
+        for req in batch {
+            let visible = c.client_visible_at + rpc_out;
+            let total = visible.saturating_since(req.submitted_at);
+            let rpc_in = self.rpc_in(model_idx);
+            let device = c.breakdown.device;
+            let mut remaining = total;
+            let mut take = |d: SimDuration| {
+                let t = d.min(remaining);
+                remaining -= t;
+                t
+            };
+            // Device time first: overhead is end-to-end minus CUDA work.
+            let device = take(device);
+            let client_send_recv = take(rpc_in + rpc_out);
+            let framework = take(self.cfg.dispatch_cost + c.breakdown.framework);
+            let communication = take(self.channels.cuda.launch_latency * 2);
+            let breakdown = paella_core::LatencyBreakdown {
+                client_send_recv,
+                communication,
+                queuing_scheduling: remaining,
+                framework,
+                device,
+            };
+            self.completions.push(JobCompletion {
+                job: c.job,
+                request: req,
+                almost_finished_at: None,
+                device_done_at: c.device_done_at,
+                client_visible_at: visible,
+                breakdown,
+            });
+        }
+        self.try_launch(model_idx, c.client_visible_at);
+    }
+}
+
+impl ServingSystem for Triton {
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId {
+        let id = ModelId(self.models.len() as u32);
+        self.models.push(ModelState {
+            model: model.clone(),
+            queue: VecDeque::new(),
+            busy: false,
+            executing: Vec::new(),
+        });
+        id
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        let m = req.model.0 as usize;
+        assert!(m < self.models.len(), "unknown model");
+        let arrive = req.submitted_at + self.rpc_in(m);
+        self.events
+            .schedule_at(arrive.max(self.events.now()), Ev::Ingress(req));
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let tb = ServingSystem::next_event_time(&mut self.backend);
+        let te = self.events.peek_time();
+        match (tb, te) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        loop {
+            let tb = ServingSystem::next_event_time(&mut self.backend);
+            let te = self.events.peek_time();
+            let next = match (tb, te) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > t {
+                break;
+            }
+            if tb.is_some_and(|a| te.is_none_or(|b| a <= b)) {
+                ServingSystem::advance_until(&mut self.backend, next);
+                for c in self.backend.drain_completions() {
+                    self.handle_backend_completion(c);
+                }
+            } else {
+                let (at, ev) = self.events.pop().expect("peeked");
+                match ev {
+                    Ev::Ingress(req) => {
+                        let m = req.model.0 as usize;
+                        self.models[m].queue.push_back(req);
+                        self.try_launch(m, at);
+                    }
+                    Ev::BatchTimeout(m) => self.try_launch(m as usize, at),
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn name(&self) -> String {
+        "Triton".to_string()
+    }
+}
+
+/// A Clockwork-like system (§9 related work; Table 3): a controller that
+/// runs exactly one model execution on the GPU at a time, prioritizing
+/// predictability. Controller↔worker coordination costs (Boost Asio) apply
+/// per request.
+pub struct Clockwork {
+    channels: ChannelConfig,
+    backend: Dispatcher,
+    models: Vec<CompiledModel>,
+    queue: VecDeque<InferenceRequest>,
+    busy: Option<InferenceRequest>,
+    events: EventQueue<InferenceRequest>,
+    completions: Vec<JobCompletion>,
+    /// Controller→worker action + result RPC costs.
+    controller_cost: SimDuration,
+}
+
+impl Clockwork {
+    /// Creates a Clockwork-like server over a fresh device.
+    pub fn new(device: DeviceConfig, channels: ChannelConfig, seed: u64) -> Self {
+        let bcfg = DispatcherConfig::direct(StreamPolicy::Single);
+        Clockwork {
+            channels,
+            backend: Dispatcher::new(device, channels, Box::new(FifoScheduler::new()), bcfg, seed),
+            models: Vec::new(),
+            queue: VecDeque::new(),
+            busy: None,
+            events: EventQueue::new(),
+            completions: Vec::new(),
+            controller_cost: SimDuration::from_micros(45),
+        }
+    }
+
+    fn try_launch(&mut self, now: SimTime) {
+        if self.busy.is_some() {
+            return;
+        }
+        let Some(req) = self.queue.pop_front() else {
+            return;
+        };
+        self.busy = Some(req);
+        self.backend.submit(InferenceRequest {
+            client: req.client,
+            model: req.model,
+            submitted_at: now + self.controller_cost,
+        });
+    }
+}
+
+impl ServingSystem for Clockwork {
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId {
+        self.models.push(model.clone());
+        self.backend.register_model(model)
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        // Boost-Asio style ingress: cheaper than gRPC, pricier than shm.
+        let arrive = req.submitted_at + SimDuration::from_micros(25);
+        self.events.schedule_at(arrive.max(self.events.now()), req);
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let tb = ServingSystem::next_event_time(&mut self.backend);
+        let te = self.events.peek_time();
+        match (tb, te) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        loop {
+            let tb = ServingSystem::next_event_time(&mut self.backend);
+            let te = self.events.peek_time();
+            let next = match (tb, te) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > t {
+                break;
+            }
+            if tb.is_some_and(|a| te.is_none_or(|b| a <= b)) {
+                ServingSystem::advance_until(&mut self.backend, next);
+                let done: Vec<JobCompletion> = self.backend.drain_completions();
+                for c in done {
+                    let req = self.busy.take().expect("completion without busy job");
+                    let visible = c.client_visible_at + self.controller_cost;
+                    let total = visible.saturating_since(req.submitted_at);
+                    let mut remaining = total;
+                    let mut take = |d: SimDuration| {
+                        let x = d.min(remaining);
+                        remaining -= x;
+                        x
+                    };
+                    // Device time first, as in the paper's overhead
+                    // definition.
+                    let device = take(c.breakdown.device);
+                    let client_send_recv = take(SimDuration::from_micros(25));
+                    let framework = take(self.controller_cost * 2 + c.breakdown.framework);
+                    let communication = take(self.channels.cuda.launch_latency * 2);
+                    self.completions.push(JobCompletion {
+                        job: c.job,
+                        request: req,
+                        almost_finished_at: None,
+                        device_done_at: c.device_done_at,
+                        client_visible_at: visible,
+                        breakdown: paella_core::LatencyBreakdown {
+                            client_send_recv,
+                            communication,
+                            queuing_scheduling: remaining,
+                            framework,
+                            device,
+                        },
+                    });
+                    self.try_launch(c.client_visible_at);
+                }
+            } else {
+                let (at, req) = self.events.pop().expect("peeked");
+                self.queue.push_back(req);
+                self.try_launch(at);
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn name(&self) -> String {
+        "Clockwork".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paella_core::ClientId;
+    use paella_models::synthetic;
+
+    fn req(model: ModelId, at_us: u64) -> InferenceRequest {
+        InferenceRequest {
+            client: ClientId(0),
+            model,
+            submitted_at: SimTime::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn triton_single_request_pays_rpc_overhead() {
+        let mut t = Triton::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            TritonConfig::default(),
+            1,
+        );
+        let m = t.register_model(&synthetic::tiny_model(SimDuration::from_micros(100)));
+        t.submit(req(m, 0));
+        t.run_to_idle();
+        let done = t.drain_completions();
+        assert_eq!(done.len(), 1);
+        let c = &done[0];
+        // gRPC both ways ≈ 400 µs ≫ exec 100 µs: overhead dominates (Fig. 3).
+        assert!(
+            c.breakdown.overhead() >= SimDuration::from_micros(300),
+            "overhead {}",
+            c.breakdown.overhead()
+        );
+        assert!(c.jct() >= SimDuration::from_micros(450));
+    }
+
+    #[test]
+    fn triton_instance_serializes_same_model() {
+        let mut t = Triton::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            TritonConfig::default(),
+            1,
+        );
+        let m = t.register_model(&synthetic::uniform_job(
+            "u",
+            4,
+            SimDuration::from_micros(500),
+            8,
+        ));
+        for _ in 0..3 {
+            t.submit(req(m, 0));
+        }
+        t.run_to_idle();
+        let mut done = t.drain_completions();
+        done.sort_by_key(|c| c.client_visible_at);
+        assert_eq!(done.len(), 3);
+        // One instance: each ~2 ms job waits for the previous.
+        let last = done.last().unwrap().jct();
+        assert!(last >= SimDuration::from_micros(5_500), "last jct {last}");
+    }
+
+    #[test]
+    fn triton_tf_backend_serializes_across_models() {
+        // The TVM-in-TensorFlow wrapper funnels every model through one
+        // compute stream, so even different models execute back to back.
+        let mut t = Triton::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            TritonConfig::default(),
+            1,
+        );
+        let a = t.register_model(&synthetic::uniform_job(
+            "a",
+            4,
+            SimDuration::from_micros(500),
+            8,
+        ));
+        let b = t.register_model(&synthetic::uniform_job(
+            "b",
+            4,
+            SimDuration::from_micros(500),
+            8,
+        ));
+        t.submit(req(a, 0));
+        t.submit(req(b, 0));
+        t.run_to_idle();
+        let done = t.drain_completions();
+        assert_eq!(done.len(), 2);
+        let last = done.iter().map(|c| c.client_visible_at).max().unwrap();
+        // Two ~2 ms jobs on one stream plus wrapper CPU: well beyond one
+        // job's latency.
+        assert!(last >= SimTime::from_micros(4_000), "last = {last}");
+    }
+
+    #[test]
+    fn triton_dynamic_batching_coalesces() {
+        let cfg = TritonConfig {
+            max_batch: 4,
+            ..TritonConfig::default()
+        };
+        let mut t = Triton::new(DeviceConfig::tesla_t4(), ChannelConfig::default(), cfg, 1);
+        let m = t.register_model(&synthetic::uniform_job(
+            "u",
+            4,
+            SimDuration::from_micros(500),
+            8,
+        ));
+        for _ in 0..4 {
+            t.submit(req(m, 0));
+        }
+        t.run_to_idle();
+        let done = t.drain_completions();
+        assert_eq!(done.len(), 4);
+        // All four share one execution: completion times equal.
+        let times: Vec<SimTime> = done.iter().map(|c| c.client_visible_at).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] == w[1]),
+            "batched together: {times:?}"
+        );
+    }
+
+    #[test]
+    fn clockwork_runs_one_at_a_time() {
+        let mut cw = Clockwork::new(DeviceConfig::tesla_t4(), ChannelConfig::default(), 1);
+        let m = cw.register_model(&synthetic::uniform_job(
+            "u",
+            4,
+            SimDuration::from_micros(500),
+            8,
+        ));
+        for _ in 0..3 {
+            cw.submit(req(m, 0));
+        }
+        cw.run_to_idle();
+        let mut done = cw.drain_completions();
+        done.sort_by_key(|c| c.client_visible_at);
+        assert_eq!(done.len(), 3);
+        let last = done.last().unwrap().jct();
+        assert!(
+            last >= SimDuration::from_micros(6_000),
+            "exclusive execution"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Microbenchmarks for the lock-free channels: the critical-path costs the
+//! paper's design depends on (sub-microsecond shared-memory hops).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paella_channels::{notif_queue, ring, Notification, PopError};
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let (mut tx, mut rx) = ring::<u64>(1024);
+        b.iter(|| {
+            tx.push(42).unwrap();
+            std::hint::black_box(rx.pop().unwrap());
+        });
+    });
+    g.bench_function("pop_empty", |b| {
+        let (_tx, mut rx) = ring::<u64>(64);
+        b.iter(|| {
+            std::hint::black_box(matches!(rx.pop(), Err(PopError::Empty)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_notif_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("notif_codec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| {
+        let n = Notification::placement(17, 12345, 16);
+        b.iter(|| std::hint::black_box(n.encode()));
+    });
+    g.bench_function("decode", |b| {
+        let w = Notification::completion(3, 999, 8).encode();
+        b.iter(|| std::hint::black_box(Notification::decode(std::hint::black_box(w))));
+    });
+    g.finish();
+}
+
+fn bench_notifq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("notifq");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("post_poll", |b| {
+        let (w, mut r) = notif_queue(4096);
+        b.iter(|| {
+            w.post(Notification::placement(1, 7, 16));
+            std::hint::black_box(r.poll().unwrap());
+        });
+    });
+    g.bench_function("drain_batch_64", |b| {
+        let (w, mut r) = notif_queue(4096);
+        let mut out = Vec::with_capacity(64);
+        b.iter_batched(
+            || {
+                for k in 0..64 {
+                    w.post(Notification::placement(1, k, 16));
+                }
+            },
+            |()| {
+                out.clear();
+                std::hint::black_box(r.drain_into(&mut out));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spsc, bench_notif_codec, bench_notifq
+}
+criterion_main!(benches);

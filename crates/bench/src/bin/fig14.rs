@@ -1,0 +1,61 @@
+//! Figure 14: client CPU utilization under the three §5.3 result-delivery
+//! protocols — plain Unix-socket IPC, unmitigated polling, and Paella's
+//! hybrid interrupt-then-poll — while submitting a stream of small jobs.
+
+use paella_bench::{channels, device, f, header, row, scaled};
+use paella_core::{Dispatcher, DispatcherConfig, SrptDeficitScheduler, WakeupMode};
+use paella_models::synthetic;
+use paella_sim::SimDuration;
+use paella_workload::{client_utilization, generate, run_trace, Mix, WorkloadSpec};
+
+fn run(mode: WakeupMode) -> (f64, f64) {
+    let mut cfg = DispatcherConfig::paella();
+    cfg.wakeup = mode;
+    let mut sys = Dispatcher::new(
+        device(),
+        channels(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        cfg,
+        37,
+    );
+    // "A small synthetic model" at ~6,700 requests per second from one
+    // client — the paper's upper bound on client load. The pinned-output
+    // model's last operator is ~22% of the job, the fraction the hybrid
+    // client's polling window (and thus CPU share) tracks.
+    let m = sys.register_model(&synthetic::tiny_model_pinned(
+        SimDuration::from_micros(94),
+        SimDuration::from_micros(26),
+    ));
+    let n = scaled(6_700);
+    let spec = WorkloadSpec {
+        clients: 1,
+        ..WorkloadSpec::steady(6_700.0, n)
+    };
+    let arrivals = generate(&spec, &Mix::single(m));
+    let stats = run_trace(&mut sys, &arrivals, n / 10);
+    let util = client_utilization(&stats.completions, mode, channels().socket.send_syscall);
+    (util * 100.0, stats.mean_us())
+}
+
+fn main() {
+    header(
+        "Figure 14",
+        "client CPU utilization under socket / polling / hybrid result delivery (~6,700 req/s of small jobs)",
+    );
+    row(&[
+        "protocol".into(),
+        "cpu_utilization_pct".into(),
+        "mean_latency_us".into(),
+    ]);
+    let (socket_util, socket_lat) = run(WakeupMode::Socket);
+    let (poll_util, poll_lat) = run(WakeupMode::Polling);
+    let (hybrid_util, hybrid_lat) = run(WakeupMode::Hybrid);
+    row(&["baseline-socket".into(), f(socket_util), f(socket_lat)]);
+    row(&["polling".into(), f(poll_util), f(poll_lat)]);
+    row(&["paella-hybrid".into(), f(hybrid_util), f(hybrid_lat)]);
+    println!(
+        "# paper: socket and polling sit at the extremes; hybrid averages ~23% \
+         and sacrifices no appreciable latency vs polling, while the socket \
+         baseline is ~10% slower"
+    );
+}

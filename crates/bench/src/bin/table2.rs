@@ -1,0 +1,39 @@
+//! Table 2: the evaluation models, their calibrated uncontended execution
+//! time versus the paper's measured "TVM Exec Time", and size.
+
+use paella_bench::{device, f, header, row};
+use paella_models::{measure_uncontended, registry, ModelZoo};
+
+fn main() {
+    header(
+        "Table 2",
+        "models used in the evaluation benchmarks (calibrated vs paper)",
+    );
+    row(&[
+        "model".into(),
+        "paper_exec_ms".into(),
+        "measured_exec_ms".into(),
+        "error_pct".into(),
+        "size_mb".into(),
+        "graph_nodes".into(),
+        "kernels".into(),
+    ]);
+    let mut zoo = ModelZoo::new(device());
+    for e in registry() {
+        let model = zoo.get(e.name).clone();
+        let measured = measure_uncontended(&model, &device());
+        let target_ms = e.target_exec.as_millis_f64();
+        let measured_ms = measured.as_millis_f64();
+        let err = (measured_ms - target_ms).abs() / target_ms * 100.0;
+        let nodes = (e.build)().len();
+        row(&[
+            e.display.to_string(),
+            f(target_ms),
+            f(measured_ms),
+            f(err),
+            f(e.size_bytes as f64 / (1 << 20) as f64),
+            nodes.to_string(),
+            model.kernel_count().to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Artifact-evaluation entry point: re-checks the paper's key qualitative
+//! claims at reduced scale and prints PASS/FAIL for each, exiting non-zero
+//! if anything regressed. The full figure binaries (`fig01`…`fig15`,
+//! `table2`) regenerate the complete data; this is the five-minute smoke
+//! pass.
+//!
+//! Run with: `./target/release/validate`
+
+use paella_bench::{channels, device, zoo};
+use paella_core::{ClientId, InferenceRequest};
+use paella_gpu::{blocks_per_sm, BlockFootprint, DeviceConfig, SmLimits};
+use paella_models::{measure_uncontended, registry, synthetic};
+use paella_sim::{SimDuration, SimTime};
+use paella_workload::{generate, make_system, run_trace, Mix, SystemKey, WorkloadSpec};
+
+struct Report {
+    failures: u32,
+}
+
+impl Report {
+    fn check(&mut self, id: &str, claim: &str, ok: bool, detail: String) {
+        let verdict = if ok { "PASS" } else { "FAIL" };
+        println!("[{verdict}] {id:8} {claim}\n         {detail}");
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut r = Report { failures: 0 };
+
+    // §2.1 arithmetic: the 176-block bound and the 18% HoL worst case.
+    let fp = BlockFootprint {
+        threads: 128,
+        regs_per_thread: 9,
+        shmem: 0,
+    };
+    let cap = blocks_per_sm(&fp, &SmLimits::TURING) * 22;
+    r.check(
+        "sec2.1",
+        "GTX 1660 SUPER holds 176 synthetic blocks; 32 queues = 18% worst case",
+        cap == 176,
+        format!(
+            "capacity = {cap}, 32/{cap} = {:.0}%",
+            32.0 / f64::from(cap) * 100.0
+        ),
+    );
+
+    // Table 2: calibration within 2%.
+    let mut zoo = zoo();
+    let mut worst = 0.0f64;
+    for e in registry().into_iter().filter(|e| e.in_table2) {
+        let m = zoo.get(e.name).clone();
+        let t = measure_uncontended(&m, &device());
+        let err = (t.as_nanos() as f64 - e.target_exec.as_nanos() as f64).abs()
+            / e.target_exec.as_nanos() as f64;
+        worst = worst.max(err);
+    }
+    r.check(
+        "table2",
+        "all 8 models calibrate to the paper's exec times",
+        worst < 0.02,
+        format!("worst relative error {:.2}%", worst * 100.0),
+    );
+
+    // Fig. 2: Paella sustains more HoL-workload goodput than job-by-job.
+    let goodput = |key: SystemKey| {
+        let mut sys = make_system(key, DeviceConfig::gtx_1660_super(), channels(), 7);
+        let m = sys.register_model(&synthetic::fig2_job());
+        let spec = WorkloadSpec {
+            clients: 16,
+            ..WorkloadSpec::steady(25_000.0, 1_500)
+        };
+        let arrivals = generate(&spec, &Mix::single(m));
+        run_trace(sys.as_mut(), &arrivals, 150).throughput
+    };
+    let jbj = goodput(SystemKey::PaellaMsJbj);
+    let paella = goodput(SystemKey::Paella);
+    r.check(
+        "fig02",
+        "Paella dispatching beats job-by-job goodput under HoL blocking",
+        paella > jbj * 1.3,
+        format!("paella {paella:.0} vs job-by-job {jbj:.0} jobs/s"),
+    );
+
+    // Fig. 9: injected scheduling delay collapses throughput.
+    let mut tput_at = |delay_us: f64| {
+        let mut sys = paella_workload::systems::make_paella_with_delay(
+            device(),
+            channels(),
+            SimDuration::from_micros_f64(delay_us),
+            13,
+        );
+        let id = sys.register_model(zoo.get("mnist"));
+        let spec = WorkloadSpec {
+            clients: 16,
+            ..WorkloadSpec::steady(100_000.0, 800)
+        };
+        let arrivals = generate(&spec, &Mix::single(id));
+        run_trace(sys.as_mut(), &arrivals, 80).throughput
+    };
+    let fast = tput_at(0.1);
+    let slow = tput_at(100.0);
+    r.check(
+        "fig09",
+        "per-decision delay ≥100 µs collapses dispatcher throughput",
+        fast > slow * 5.0,
+        format!("{fast:.0} req/s at 0.1 µs vs {slow:.0} at 100 µs"),
+    );
+
+    // Fig. 10: Paella's single-request overhead ≪ Triton's.
+    let mut overhead = |key: SystemKey| {
+        let mut sys = make_system(key, device(), channels(), 17);
+        let id = sys.register_model(zoo.get("mobilenetv2"));
+        sys.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        sys.run_to_idle();
+        let done = sys.drain_completions();
+        done[0].breakdown.overhead().as_micros_f64()
+    };
+    let triton = overhead(SystemKey::Triton);
+    let paella_oh = overhead(SystemKey::Paella);
+    r.check(
+        "fig10",
+        "Paella's serving overhead is a fraction of Triton's",
+        paella_oh * 2.0 < triton,
+        format!("paella {paella_oh:.0} µs vs triton {triton:.0} µs"),
+    );
+
+    // Fig. 12: SRPT protects short jobs in a short/long mix.
+    let mut r18_p99 = |key: SystemKey| {
+        let mut sys = make_system(key, device(), channels(), 29);
+        let s = sys.register_model(zoo.get("resnet18"));
+        let l = sys.register_model(zoo.get("inceptionv3"));
+        let spec = WorkloadSpec {
+            sigma: 1.5,
+            clients: 8,
+            ..WorkloadSpec::steady(200.0, 600)
+        };
+        let arrivals = generate(&spec, &Mix::weighted(vec![(s, 19.7), (l, 1.0)]));
+        let mut stats = run_trace(sys.as_mut(), &arrivals, 60);
+        stats.model_p99_us(s).unwrap_or(f64::NAN)
+    };
+    let cuda_ms = r18_p99(SystemKey::CudaMs);
+    let paella_r18 = r18_p99(SystemKey::Paella);
+    r.check(
+        "fig12",
+        "ResNet-18 p99 improves ≥3x under Paella vs CUDA-MS",
+        paella_r18 * 3.0 < cuda_ms,
+        format!(
+            "CUDA-MS {:.1} ms vs Paella {:.1} ms",
+            cuda_ms / 1_000.0,
+            paella_r18 / 1_000.0
+        ),
+    );
+
+    // Fig. 14: hybrid wakeup sits between socket and polling CPU use.
+    {
+        use paella_core::{Dispatcher, DispatcherConfig, SrptDeficitScheduler, WakeupMode};
+        use paella_workload::client_utilization;
+        let util = |mode: WakeupMode| {
+            let mut cfg = DispatcherConfig::paella();
+            cfg.wakeup = mode;
+            let mut sys = Dispatcher::new(
+                device(),
+                channels(),
+                Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+                cfg,
+                37,
+            );
+            let m = sys.register_model(&synthetic::tiny_model_pinned(
+                SimDuration::from_micros(94),
+                SimDuration::from_micros(26),
+            ));
+            let spec = WorkloadSpec {
+                clients: 1,
+                ..WorkloadSpec::steady(6_700.0, 1_500)
+            };
+            let arrivals = generate(&spec, &Mix::single(m));
+            let stats = run_trace(&mut sys, &arrivals, 150);
+            client_utilization(&stats.completions, mode, channels().socket.send_syscall)
+        };
+        let socket = util(WakeupMode::Socket);
+        let poll = util(WakeupMode::Polling);
+        let hybrid = util(WakeupMode::Hybrid);
+        r.check(
+            "fig14",
+            "hybrid client CPU sits between socket and polling extremes",
+            socket < hybrid && hybrid < poll && poll > 0.5 && hybrid < 0.4,
+            format!(
+                "socket {:.1}%, hybrid {:.1}%, polling {:.1}%",
+                socket * 100.0,
+                hybrid * 100.0,
+                poll * 100.0
+            ),
+        );
+    }
+
+    // Fig. 15: instrumentation overhead ordering (no-agg < agg device time).
+    {
+        use paella_gpu::InstrumentationSpec;
+        let agg = InstrumentationSpec::default().kernel_overhead(160);
+        let noagg = InstrumentationSpec::without_aggregation().kernel_overhead(160);
+        r.check(
+            "fig15",
+            "aggregation costs more device time but fewer notifications",
+            agg > noagg
+                && InstrumentationSpec::default().notifications_for(160)
+                    < InstrumentationSpec::without_aggregation().notifications_for(160),
+            format!(
+                "agg {} vs no-agg {}; {} vs {} words/phase",
+                agg,
+                noagg,
+                InstrumentationSpec::default().notifications_for(160),
+                InstrumentationSpec::without_aggregation().notifications_for(160)
+            ),
+        );
+    }
+
+    println!();
+    if r.failures == 0 {
+        println!("all checks passed");
+    } else {
+        println!("{} check(s) FAILED", r.failures);
+        std::process::exit(1);
+    }
+}

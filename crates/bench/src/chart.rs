@@ -1,0 +1,150 @@
+//! Terminal charts for the figure binaries: quick visual confirmation of
+//! the curves' shapes without leaving the shell.
+
+/// Renders an XY line chart of one or more series as ASCII, with `width` ×
+/// `height` character resolution. Series are drawn with distinct glyphs;
+/// points are nearest-cell plotted (no interpolation). Returns the rendered
+/// lines.
+pub fn xy_chart(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> Vec<String> {
+    const GLYPHS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+    let mut out = Vec::new();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() || width < 8 || height < 3 {
+        out.push(format!("{title}: (no data)"));
+        return out;
+    }
+    let y_of = |y: f64| if log_y { y.max(1e-12).log10() } else { y };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y_of(y));
+        y1 = y1.max(y_of(y));
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y_of(y) - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    out.push(format!("{title}{}", if log_y { "  [log y]" } else { "" }));
+    let y_top = if log_y { 10f64.powf(y1) } else { y1 };
+    let y_bot = if log_y { 10f64.powf(y0) } else { y0 };
+    for (i, row) in grid.into_iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_top:>10.3e}")
+        } else if i == height - 1 {
+            format!("{y_bot:>10.3e}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push(format!("{label} |{}", row.into_iter().collect::<String>()));
+    }
+    out.push(format!("{} +{}", " ".repeat(10), "-".repeat(width)));
+    out.push(format!(
+        "{} {:<.3e}{}{:>.3e}",
+        " ".repeat(10),
+        x0,
+        " ".repeat(width.saturating_sub(20)),
+        x1
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    out.push(format!("{} {}", " ".repeat(10), legend.join("   ")));
+    out
+}
+
+/// Prints the chart to stdout.
+pub fn print_xy_chart(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) {
+    for line in xy_chart(title, series, width, height, log_y) {
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let lines = xy_chart("t", &[("sq", &a)], 40, 10, false);
+        // Header + 10 rows + axis + x labels + legend.
+        assert_eq!(lines.len(), 14);
+        let body = lines[1..11].join("\n");
+        assert!(body.contains('o'), "series glyph must appear");
+        // Every plotted glyph stays within the 40-char plot area.
+        for row in &lines[1..11] {
+            assert!(row.len() <= 10 + 2 + 40 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let lines = xy_chart("t", &[("none", &[])], 40, 10, false);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("no data"));
+    }
+
+    #[test]
+    fn log_scale_orders_extremes() {
+        let a = [(1.0, 1.0), (2.0, 1_000_000.0)];
+        let lines = xy_chart("t", &[("s", &a)], 20, 8, true);
+        assert!(lines[0].contains("[log y]"));
+        // Top label is the max, bottom label the min.
+        assert!(lines[1].contains("1.000e6"));
+        assert!(lines[8].contains("1.000e0"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let a = [(0.0, 0.0), (1.0, 1.0)];
+        let b = [(0.0, 1.0), (1.0, 0.0)];
+        let lines = xy_chart("t", &[("up", &a), ("down", &b)], 20, 6, false);
+        let body = lines.join("\n");
+        assert!(body.contains('o') && body.contains('+'));
+        assert!(lines.last().unwrap().contains("o up"));
+        assert!(lines.last().unwrap().contains("+ down"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let a = [(5.0, 7.0), (5.0, 7.0)];
+        let lines = xy_chart("t", &[("pt", &a)], 20, 5, false);
+        assert!(lines.len() > 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # paella-channels
+//!
+//! The specialized communication channels of the Paella design (§5 of the
+//! paper), implemented twice:
+//!
+//! 1. **For real threads** — lock-free data structures built on `std`
+//!    atomics: an SPSC request ring ([`spsc`]), the multi-writer device→host
+//!    notification ring with single-word atomic notifications ([`notifq`] +
+//!    [`notif`]), and the hybrid interrupt-then-poll doorbell ([`doorbell`]).
+//!    These are exercised by their own tests, Criterion benches, and the
+//!    `live_channels` example.
+//! 2. **For the discrete-event simulation** — calibrated latency models
+//!    ([`latency`]) so that end-to-end experiment figures account for every
+//!    hop's cost.
+
+pub mod doorbell;
+pub mod latency;
+pub mod notif;
+pub mod notifq;
+pub mod spsc;
+
+pub use doorbell::{Doorbell, HybridWaiter, WaitStats};
+pub use latency::{ChannelConfig, CudaRuntimeModel, RpcModel, ShmRingModel, UnixSocketModel};
+pub use notif::{KernelUid, NotifKind, Notification, SmId, INVALID_WORD};
+pub use notifq::{notif_queue, NotifReader, NotifWriter};
+pub use spsc::{ring, Consumer, PopError, Producer, PushError};

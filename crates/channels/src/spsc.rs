@@ -1,0 +1,328 @@
+//! Bounded lock-free single-producer/single-consumer ring.
+//!
+//! This is the client→dispatcher request channel of §5.1: each client owns a
+//! shared-memory region and posts raw request descriptors; the dispatcher
+//! polls every client ring round-robin. Head and tail live on separate cache
+//! lines to avoid false sharing between the two sides.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads a value to a cache line to prevent false sharing.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    head: CachePadded<AtomicUsize>, // next slot to read
+    tail: CachePadded<AtomicUsize>, // next slot to write
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: slots are transferred between threads with acquire/release on
+// head/tail; a slot is only accessed by the producer before publishing via
+// `tail` and only by the consumer after observing that publish, so no slot is
+// ever aliased concurrently. `T: Send` is required because values cross
+// threads.
+unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: see above; &Shared is only used through the single Producer and
+// single Consumer handles, which partition the slots.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Drop any queued-but-unread items. By the time Shared drops, both
+        // handles are gone, so plain loads are fine.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in [head, tail) were initialized by the producer
+            // and never consumed.
+            unsafe { (*self.buf[i % self.cap].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The sending half of an SPSC ring.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    cached_head: usize,
+}
+
+/// The receiving half of an SPSC ring.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    cached_tail: usize,
+}
+
+/// Error returned by [`Producer::push`] when the ring is full or the consumer
+/// is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is full; the value is handed back.
+    Full(T),
+    /// The consumer has been dropped; the value is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Consumer::pop`] when no item is ready.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum PopError {
+    /// The ring is currently empty.
+    Empty,
+    /// The ring is empty and the producer has been dropped.
+    Disconnected,
+}
+
+/// Creates a bounded SPSC ring with capacity for `cap` in-flight items.
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, mut rx) = paella_channels::ring::<u32>(8);
+/// tx.push(7).unwrap();
+/// assert_eq!(rx.pop().unwrap(), 7);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cap == 0`.
+pub fn ring<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap > 0, "ring capacity must be positive");
+    let shared = Arc::new(Shared {
+        buf: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        cap,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            cached_head: 0,
+        },
+        Consumer {
+            shared,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue `value` without blocking.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        let s = &*self.shared;
+        if !s.consumer_alive.load(Ordering::Acquire) {
+            return Err(PushError::Disconnected(value));
+        }
+        let tail = s.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head) >= s.cap {
+            // Refresh the consumer's progress before declaring the ring full.
+            self.cached_head = s.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) >= s.cap {
+                return Err(PushError::Full(value));
+            }
+        }
+        // SAFETY: slot `tail % cap` is outside [head, tail), so the consumer
+        // will not touch it until we publish the new tail below.
+        unsafe { (*s.buf[tail % s.cap].get()).write(value) };
+        s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of free slots (a lower bound from the producer's view).
+    pub fn free_len(&self) -> usize {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Acquire);
+        let tail = s.tail.0.load(Ordering::Relaxed);
+        s.cap - tail.wrapping_sub(head)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue one item without blocking.
+    pub fn pop(&mut self) -> Result<T, PopError> {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = s.tail.0.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return if s.producer_alive.load(Ordering::Acquire) {
+                    Err(PopError::Empty)
+                } else {
+                    // Re-check after observing the death flag: the producer
+                    // may have pushed right before dropping.
+                    self.cached_tail = s.tail.0.load(Ordering::Acquire);
+                    if head == self.cached_tail {
+                        Err(PopError::Disconnected)
+                    } else {
+                        Ok(self.take(head))
+                    }
+                };
+            }
+        }
+        Ok(self.take(head))
+    }
+
+    fn take(&mut self, head: usize) -> T {
+        let s = &*self.shared;
+        // SAFETY: head < tail, so this slot holds an initialized value that
+        // the producer published with a release store and will not reuse
+        // until we advance `head`.
+        let value = unsafe { (*s.buf[head % s.cap].get()).assume_init_read() };
+        s.head.0.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Number of items currently queued (an upper bound from the consumer's
+    /// view).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        let tail = s.tail.0.load(Ordering::Acquire);
+        let head = s.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(matches!(tx.push(99), Err(PushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.pop().unwrap(), i);
+        }
+        assert_eq!(rx.pop(), Err(PopError::Empty));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = ring::<usize>(3);
+        for round in 0..1000 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop().unwrap(), round);
+        }
+    }
+
+    #[test]
+    fn len_and_free_len() {
+        let (mut tx, mut rx) = ring::<u8>(8);
+        assert_eq!(rx.len(), 0);
+        assert!(rx.is_empty());
+        assert_eq!(tx.free_len(), 8);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(tx.free_len(), 6);
+        rx.pop().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn producer_drop_signals_disconnect_after_drain() {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        tx.push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop().unwrap(), 7);
+        assert_eq!(rx.pop(), Err(PopError::Disconnected));
+    }
+
+    #[test]
+    fn consumer_drop_signals_disconnect() {
+        let (mut tx, rx) = ring::<u8>(2);
+        drop(rx);
+        assert!(matches!(tx.push(1), Err(PushError::Disconnected(1))));
+    }
+
+    #[test]
+    fn unread_items_are_dropped() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring::<D>(4);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order_and_items() {
+        const N: usize = 200_000;
+        let (mut tx, mut rx) = ring::<usize>(64);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                        Err(PushError::Disconnected(_)) => panic!("consumer died"),
+                    }
+                }
+            }
+        });
+        let mut expected = 0usize;
+        while expected < N {
+            match rx.pop() {
+                Ok(v) => {
+                    assert_eq!(v, expected, "items must arrive in order");
+                    expected += 1;
+                }
+                Err(PopError::Empty) => std::hint::spin_loop(),
+                Err(PopError::Disconnected) => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(expected, N);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ring::<u8>(0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the lock-free channels.
+
+use proptest::prelude::*;
+
+use paella_channels::{notif_queue, ring, NotifKind, Notification, PopError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The notification codec round-trips every field combination.
+    #[test]
+    fn notification_roundtrip(sm in any::<u8>(), kernel in any::<u32>(), group in 1u16.., start in any::<bool>()) {
+        let n = if start {
+            Notification::placement(sm, kernel, group)
+        } else {
+            Notification::completion(sm, kernel, group)
+        };
+        let decoded = Notification::decode(n.encode()).unwrap();
+        prop_assert_eq!(decoded, n);
+        prop_assert_eq!(decoded.sm_id, sm);
+        prop_assert_eq!(decoded.kernel, kernel);
+        prop_assert_eq!(decoded.group, group);
+        prop_assert_eq!(decoded.kind == NotifKind::Placement, start);
+    }
+
+    /// Arbitrary words either decode to a valid notification that re-encodes
+    /// to the same word, or are rejected.
+    #[test]
+    fn decode_is_partial_inverse(word in any::<u64>()) {
+        if let Some(n) = Notification::decode(word) {
+            prop_assert_eq!(n.encode(), word);
+        }
+    }
+
+    /// An SPSC ring is FIFO and lossless under any interleaving of pushes
+    /// and pops from a single thread.
+    #[test]
+    fn spsc_fifo_any_interleaving(ops in proptest::collection::vec(any::<bool>(), 1..400), cap in 1usize..64) {
+        let (mut tx, mut rx) = ring::<u32>(cap);
+        let mut next_push = 0u32;
+        let mut next_pop = 0u32;
+        let mut in_flight = 0usize;
+        for push in ops {
+            if push {
+                match tx.push(next_push) {
+                    Ok(()) => {
+                        prop_assert!(in_flight < cap, "push succeeded on full ring");
+                        next_push += 1;
+                        in_flight += 1;
+                    }
+                    Err(_) => prop_assert_eq!(in_flight, cap, "push failed on non-full ring"),
+                }
+            } else {
+                match rx.pop() {
+                    Ok(v) => {
+                        prop_assert_eq!(v, next_pop, "FIFO order violated");
+                        next_pop += 1;
+                        in_flight -= 1;
+                    }
+                    Err(PopError::Empty) => prop_assert_eq!(in_flight, 0),
+                    Err(PopError::Disconnected) => prop_assert!(false, "producer alive"),
+                }
+            }
+        }
+        prop_assert_eq!(rx.len(), in_flight);
+    }
+
+    /// The notifQ delivers every posted notification exactly once, in order,
+    /// for any post/poll interleaving that respects its capacity bound.
+    #[test]
+    fn notifq_exactly_once(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let cap = 64;
+        let (w, mut r) = notif_queue(cap);
+        let mut posted = 0u32;
+        let mut polled = 0u32;
+        for post in ops {
+            if post {
+                if posted - polled < cap as u32 {
+                    w.post(Notification::placement(0, posted, 1));
+                    posted += 1;
+                }
+            } else {
+                match r.poll() {
+                    Some(n) => {
+                        prop_assert_eq!(n.kernel, polled, "in-order delivery");
+                        polled += 1;
+                    }
+                    None => prop_assert_eq!(polled, posted, "poll empty only when drained"),
+                }
+            }
+        }
+        while let Some(n) = r.poll() {
+            prop_assert_eq!(n.kernel, polled);
+            polled += 1;
+        }
+        prop_assert_eq!(polled, posted);
+    }
+}

@@ -1,0 +1,177 @@
+//! Operator fusion.
+//!
+//! TVM fuses elementwise epilogues (BatchNorm, ReLU) into the compute op
+//! that produces their input, so a `conv → bn → relu` chain lowers to a
+//! single kernel. This pass reproduces that behaviour: it walks the graph in
+//! topological order and groups each compute node with the maximal chain of
+//! single-consumer elementwise nodes hanging off it.
+
+use std::collections::HashMap;
+
+use crate::ir::{Graph, NodeId, Op};
+
+/// A fusion group: one anchor (compute) node plus fused elementwise
+/// epilogues, lowered together as one kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// The compute node that defines the kernel's shape and cost.
+    pub anchor: NodeId,
+    /// Fused elementwise followers, in chain order.
+    pub fused: Vec<NodeId>,
+}
+
+impl FusionGroup {
+    /// The node whose output this group produces (last fused node, or the
+    /// anchor itself).
+    pub fn output(&self) -> NodeId {
+        *self.fused.last().unwrap_or(&self.anchor)
+    }
+}
+
+/// Partitions `graph` into fusion groups covering every non-input node
+/// exactly once, preserving topological order of anchors.
+pub fn fuse(graph: &Graph) -> Vec<FusionGroup> {
+    // Count consumers: an elementwise node is only fusable if its producer
+    // has no other consumer (otherwise the intermediate value is needed).
+    let mut consumers: HashMap<NodeId, u32> = HashMap::new();
+    for node in &graph.nodes {
+        for &i in &node.inputs {
+            *consumers.entry(i).or_insert(0) += 1;
+        }
+    }
+    // Map from node to the elementwise node that follows it (if unique).
+    let mut next_eltwise: HashMap<NodeId, NodeId> = HashMap::new();
+    for node in &graph.nodes {
+        if node.op.is_elementwise() && node.inputs.len() == 1 {
+            let producer = node.inputs[0];
+            if consumers.get(&producer).copied() == Some(1) {
+                next_eltwise.insert(producer, node.id);
+            }
+        }
+    }
+
+    let mut absorbed = vec![false; graph.len()];
+    let mut groups = Vec::new();
+    for node in &graph.nodes {
+        if matches!(node.op, Op::Input) || absorbed[node.id.0 as usize] {
+            continue;
+        }
+        if node.op.is_elementwise() {
+            // An unfused elementwise node becomes its own (cheap) kernel.
+            // Chain further elementwise followers onto it all the same.
+        }
+        let mut group = FusionGroup {
+            anchor: node.id,
+            fused: Vec::new(),
+        };
+        let mut cur = node.id;
+        while let Some(&next) = next_eltwise.get(&cur) {
+            if absorbed[next.0 as usize] {
+                break;
+            }
+            group.fused.push(next);
+            absorbed[next.0 as usize] = true;
+            cur = next;
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Shape;
+
+    fn conv(out: u32) -> Op {
+        Op::Conv2d {
+            out_channels: out,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn conv_bn_relu_fuses_to_one_group() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(3, 32, 32));
+        let c = g.add(conv(16), &[x]).unwrap();
+        let b = g.add(Op::BatchNorm, &[c]).unwrap();
+        let r = g.add(Op::Relu, &[b]).unwrap();
+        let groups = fuse(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].anchor, c);
+        assert_eq!(groups[0].fused, vec![b, r]);
+        assert_eq!(groups[0].output(), r);
+    }
+
+    #[test]
+    fn chain_of_convs_yields_one_group_each() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(3, 32, 32));
+        let c1 = g.add(conv(16), &[x]).unwrap();
+        let r1 = g.add(Op::Relu, &[c1]).unwrap();
+        let c2 = g.add(conv(32), &[r1]).unwrap();
+        let r2 = g.add(Op::Relu, &[c2]).unwrap();
+        let groups = fuse(&g);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].anchor, c1);
+        assert_eq!(groups[0].fused, vec![r1]);
+        assert_eq!(groups[1].anchor, c2);
+        assert_eq!(groups[1].fused, vec![r2]);
+    }
+
+    #[test]
+    fn branch_point_blocks_fusion() {
+        // conv's output feeds both relu and a residual add: the relu cannot
+        // be fused because the intermediate is observable.
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(16, 8, 8));
+        let c = g.add(conv(16), &[x]).unwrap();
+        let r = g.add(Op::Relu, &[c]).unwrap();
+        let a = g.add(Op::Add, &[c, r]).unwrap();
+        let groups = fuse(&g);
+        let anchors: Vec<NodeId> = groups.iter().map(|gr| gr.anchor).collect();
+        assert_eq!(anchors, vec![c, r, a]);
+        assert!(groups.iter().all(|gr| gr.fused.is_empty()));
+    }
+
+    #[test]
+    fn every_non_input_node_covered_exactly_once() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(3, 64, 64));
+        let c1 = g.add(conv(8), &[x]).unwrap();
+        let b1 = g.add(Op::BatchNorm, &[c1]).unwrap();
+        let r1 = g.add(Op::Relu, &[b1]).unwrap();
+        let p = g.add(Op::MaxPool { size: 2, stride: 2 }, &[r1]).unwrap();
+        let c2 = g.add(conv(8), &[p]).unwrap();
+        let a = g.add(Op::Add, &[p, c2]).unwrap();
+        let _ = a;
+        let groups = fuse(&g);
+        let mut covered: Vec<NodeId> = Vec::new();
+        for gr in &groups {
+            covered.push(gr.anchor);
+            covered.extend(&gr.fused);
+        }
+        covered.sort();
+        let mut expected: Vec<NodeId> = g
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.op, Op::Input))
+            .map(|n| n.id)
+            .collect();
+        expected.sort();
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn lone_elementwise_becomes_own_group() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(4, 4, 4));
+        let r = g.add(Op::Relu, &[x]).unwrap();
+        let groups = fuse(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].anchor, r);
+    }
+}

@@ -1,0 +1,100 @@
+//! The Paella instrumentation pass (§4.1).
+//!
+//! The pass is uniform across all kernels regardless of content — exactly the
+//! property the paper relies on for automation: every kernel gains the two
+//! extra parameters (notifQ handle, unique kernel id) and the block
+//! start/end notification epilogues, modelled here by attaching an
+//! [`InstrumentationSpec`] to each kernel.
+
+use paella_gpu::InstrumentationSpec;
+
+use crate::module::{CompiledModel, DeviceOp};
+
+/// Applies the instrumentation pass to every kernel of `model`.
+pub fn instrument_model(model: &mut CompiledModel, spec: InstrumentationSpec) {
+    for op in &mut model.ops {
+        if let DeviceOp::Kernel(k) = op {
+            k.instrumentation = Some(spec);
+        }
+    }
+}
+
+/// Returns an instrumented copy of `model`.
+pub fn instrumented(model: &CompiledModel, spec: InstrumentationSpec) -> CompiledModel {
+    let mut m = model.clone();
+    instrument_model(&mut m, spec);
+    m
+}
+
+/// Total notifications one execution of `model` posts (both phases), used to
+/// size the `notifQ` for flow control.
+pub fn notifications_per_run(model: &CompiledModel) -> u64 {
+    model
+        .kernels()
+        .map(|k| {
+            k.instrumentation
+                .map(|s| 2 * u64::from(s.notifications_for(k.grid_blocks)))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Graph, Op, Shape};
+    use crate::lower::CostModel;
+    use crate::module::compile;
+
+    fn model() -> CompiledModel {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(3, 64, 64));
+        let c = g
+            .add(
+                Op::Conv2d {
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                &[x],
+            )
+            .unwrap();
+        let _ = g.add(Op::Relu, &[c]).unwrap();
+        compile("m", &g, &CostModel::default(), 1.0)
+    }
+
+    #[test]
+    fn pass_is_uniform_over_kernels() {
+        let mut m = model();
+        assert!(m.kernels().all(|k| k.instrumentation.is_none()));
+        instrument_model(&mut m, InstrumentationSpec::default());
+        assert!(m.kernels().all(|k| k.instrumentation.is_some()));
+        assert!(m
+            .kernels()
+            .all(|k| k.instrumentation.unwrap().aggregation == 16));
+    }
+
+    #[test]
+    fn instrumented_leaves_original_untouched() {
+        let m = model();
+        let im = instrumented(&m, InstrumentationSpec::default());
+        assert!(m.kernels().all(|k| k.instrumentation.is_none()));
+        assert!(im.kernels().all(|k| k.instrumentation.is_some()));
+    }
+
+    #[test]
+    fn notification_budget() {
+        let m = instrumented(&model(), InstrumentationSpec::default());
+        let per_run = notifications_per_run(&m);
+        // Each kernel posts ⌈blocks/16⌉ notifications per phase.
+        let expect: u64 = m
+            .kernels()
+            .map(|k| 2 * u64::from(k.grid_blocks.div_ceil(16)))
+            .sum();
+        assert_eq!(per_run, expect);
+        assert!(per_run > 0);
+        // Uninstrumented model posts none.
+        assert_eq!(notifications_per_run(&model()), 0);
+    }
+}

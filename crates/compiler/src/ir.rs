@@ -1,0 +1,452 @@
+//! Graph-level intermediate representation.
+//!
+//! A deliberately TVM/Relay-flavoured IR: a model is a DAG of tensor
+//! operators with static shapes. The reproduction does not execute real
+//! arithmetic — what matters for scheduling research is each operator's
+//! *kernel shape* (grid/block/resources) and *cost* (FLOPs / bytes moved),
+//! which lowering derives from this IR.
+
+use std::fmt;
+
+/// A tensor shape in NCHW order with N implicit (batch handled at lowering).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Shape {
+    /// Channels.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl Shape {
+    /// Creates a CHW shape.
+    pub const fn chw(c: u32, h: u32, w: u32) -> Self {
+        Shape { c, h, w }
+    }
+
+    /// A flat vector of `n` features (C = n, H = W = 1).
+    pub const fn flat(n: u32) -> Self {
+        Shape { c: n, h: 1, w: 1 }
+    }
+
+    /// Number of elements.
+    pub fn elems(&self) -> u64 {
+        u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Size in bytes as float32.
+    pub fn bytes(&self) -> u64 {
+        self.elems() * 4
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Node identifier within a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Tensor operators.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Op {
+    /// Model input placeholder.
+    Input,
+    /// 2-D convolution: `out_channels`, square `kernel`, `stride`, `pad`.
+    Conv2d {
+        /// Output channels.
+        out_channels: u32,
+        /// Kernel side length.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+        /// Symmetric padding.
+        pad: u32,
+    },
+    /// Depthwise 2-D convolution (MobileNet-style).
+    DepthwiseConv2d {
+        /// Kernel side length.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+        /// Symmetric padding.
+        pad: u32,
+    },
+    /// Fully connected layer with `units` outputs.
+    Dense {
+        /// Output features.
+        units: u32,
+    },
+    /// Max pooling with square window.
+    MaxPool {
+        /// Window side length.
+        size: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Average pooling with square window.
+    AvgPool {
+        /// Window side length.
+        size: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Batch normalization (eltwise scale/shift at inference).
+    BatchNorm,
+    /// ReLU activation.
+    Relu,
+    /// Elementwise addition of two inputs (residual connections).
+    Add,
+    /// Channel-wise concatenation of all inputs.
+    Concat,
+    /// Softmax over the flattened features.
+    Softmax,
+}
+
+impl Op {
+    /// Whether this op is elementwise and thus fusable into its producer.
+    pub fn is_elementwise(&self) -> bool {
+        matches!(self, Op::BatchNorm | Op::Relu)
+    }
+}
+
+/// One node of the dataflow graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id (equals its index in [`Graph::nodes`]).
+    pub id: NodeId,
+    /// The operator.
+    pub op: Op,
+    /// Producer nodes, in operator-defined order.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+}
+
+/// A dataflow graph under construction or ready for lowering.
+///
+/// Nodes are stored in topological order by construction: an input of a node
+/// must already exist when the node is added.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Topologically ordered nodes.
+    pub nodes: Vec<Node>,
+}
+
+/// Errors raised while building a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Referenced input does not exist yet.
+    UnknownInput(NodeId),
+    /// Operator received the wrong number of inputs.
+    Arity {
+        /// The offending operator (via `Debug`).
+        op: String,
+        /// Inputs provided.
+        got: usize,
+        /// Inputs required.
+        want: &'static str,
+    },
+    /// Shapes are incompatible (e.g. `Add` of different shapes).
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownInput(id) => write!(f, "unknown input node {id:?}"),
+            GraphError::Arity { op, got, want } => {
+                write!(f, "op {op} wants {want} inputs, got {got}")
+            }
+            GraphError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds an input placeholder of the given shape.
+    pub fn input(&mut self, shape: Shape) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            op: Op::Input,
+            inputs: Vec::new(),
+            shape,
+        });
+        id
+    }
+
+    /// Adds an operator node, inferring its output shape.
+    pub fn add(&mut self, op: Op, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        for &i in inputs {
+            if i.0 as usize >= self.nodes.len() {
+                return Err(GraphError::UnknownInput(i));
+            }
+        }
+        let shape = self.infer_shape(op, inputs)?;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs: inputs.to_vec(),
+            shape,
+        });
+        Ok(id)
+    }
+
+    /// Shape of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn shape(&self, id: NodeId) -> Shape {
+        self.nodes[id.0 as usize].shape
+    }
+
+    /// Number of nodes (the paper's "nodes in the computation graph").
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn arity_err(op: Op, got: usize, want: &'static str) -> GraphError {
+        GraphError::Arity {
+            op: format!("{op:?}"),
+            got,
+            want,
+        }
+    }
+
+    fn infer_shape(&self, op: Op, inputs: &[NodeId]) -> Result<Shape, GraphError> {
+        let one = |gr: &Graph| -> Result<Shape, GraphError> {
+            if inputs.len() != 1 {
+                return Err(Self::arity_err(op, inputs.len(), "1"));
+            }
+            Ok(gr.shape(inputs[0]))
+        };
+        match op {
+            Op::Input => Err(GraphError::Arity {
+                op: "Input".to_string(),
+                got: inputs.len(),
+                want: "use Graph::input",
+            }),
+            Op::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            } => {
+                let s = one(self)?;
+                let h = conv_out(s.h, kernel, stride, pad);
+                let w = conv_out(s.w, kernel, stride, pad);
+                if h == 0 || w == 0 {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "conv {kernel}x{kernel}/{stride} collapses {s}"
+                    )));
+                }
+                Ok(Shape::chw(out_channels, h, w))
+            }
+            Op::DepthwiseConv2d {
+                kernel,
+                stride,
+                pad,
+            } => {
+                let s = one(self)?;
+                Ok(Shape::chw(
+                    s.c,
+                    conv_out(s.h, kernel, stride, pad),
+                    conv_out(s.w, kernel, stride, pad),
+                ))
+            }
+            Op::Dense { units } => {
+                let _ = one(self)?;
+                Ok(Shape::flat(units))
+            }
+            Op::MaxPool { size, stride } | Op::AvgPool { size, stride } => {
+                let s = one(self)?;
+                Ok(Shape::chw(
+                    s.c,
+                    pool_out(s.h, size, stride),
+                    pool_out(s.w, size, stride),
+                ))
+            }
+            Op::GlobalAvgPool => {
+                let s = one(self)?;
+                Ok(Shape::chw(s.c, 1, 1))
+            }
+            Op::BatchNorm | Op::Relu | Op::Softmax => one(self),
+            Op::Add => {
+                if inputs.len() != 2 {
+                    return Err(Self::arity_err(op, inputs.len(), "2"));
+                }
+                let a = self.shape(inputs[0]);
+                let b = self.shape(inputs[1]);
+                if a != b {
+                    return Err(GraphError::ShapeMismatch(format!("add {a} vs {b}")));
+                }
+                Ok(a)
+            }
+            Op::Concat => {
+                if inputs.len() < 2 {
+                    return Err(Self::arity_err(op, inputs.len(), "2+"));
+                }
+                let first = self.shape(inputs[0]);
+                let mut c = 0;
+                for &i in inputs {
+                    let s = self.shape(i);
+                    if (s.h, s.w) != (first.h, first.w) {
+                        return Err(GraphError::ShapeMismatch(format!(
+                            "concat spatial {s} vs {first}"
+                        )));
+                    }
+                    c += s.c;
+                }
+                Ok(Shape::chw(c, first.h, first.w))
+            }
+        }
+    }
+}
+
+fn conv_out(dim: u32, kernel: u32, stride: u32, pad: u32) -> u32 {
+    ((dim + 2 * pad).saturating_sub(kernel)) / stride.max(1) + 1
+}
+
+fn pool_out(dim: u32, size: u32, stride: u32) -> u32 {
+    (dim.saturating_sub(size)) / stride.max(1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(3, 224, 224));
+        let c = g
+            .add(
+                Op::Conv2d {
+                    out_channels: 64,
+                    kernel: 7,
+                    stride: 2,
+                    pad: 3,
+                },
+                &[x],
+            )
+            .unwrap();
+        assert_eq!(g.shape(c), Shape::chw(64, 112, 112));
+    }
+
+    #[test]
+    fn pool_and_global_pool() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(64, 112, 112));
+        let p = g.add(Op::MaxPool { size: 2, stride: 2 }, &[x]).unwrap();
+        assert_eq!(g.shape(p), Shape::chw(64, 56, 56));
+        let gp = g.add(Op::GlobalAvgPool, &[p]).unwrap();
+        assert_eq!(g.shape(gp), Shape::chw(64, 1, 1));
+    }
+
+    #[test]
+    fn dense_flattens() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(512, 1, 1));
+        let d = g.add(Op::Dense { units: 1000 }, &[x]).unwrap();
+        assert_eq!(g.shape(d), Shape::flat(1000));
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::chw(64, 56, 56));
+        let b = g.input(Shape::chw(64, 28, 28));
+        assert!(matches!(
+            g.add(Op::Add, &[a, b]),
+            Err(GraphError::ShapeMismatch(_))
+        ));
+        let c = g.input(Shape::chw(64, 56, 56));
+        assert!(g.add(Op::Add, &[a, c]).is_ok());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::chw(64, 28, 28));
+        let b = g.input(Shape::chw(96, 28, 28));
+        let c = g.add(Op::Concat, &[a, b]).unwrap();
+        assert_eq!(g.shape(c), Shape::chw(160, 28, 28));
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::chw(64, 28, 28));
+        let b = g.input(Shape::chw(64, 14, 14));
+        assert!(g.add(Op::Concat, &[a, b]).is_err());
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut g = Graph::new();
+        assert_eq!(
+            g.add(Op::Relu, &[NodeId(5)]),
+            Err(GraphError::UnknownInput(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::chw(1, 1, 1));
+        assert!(matches!(
+            g.add(Op::Add, &[a]),
+            Err(GraphError::Arity { .. })
+        ));
+        assert!(matches!(
+            g.add(Op::Concat, &[a]),
+            Err(GraphError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn depthwise_preserves_channels() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::chw(32, 112, 112));
+        let d = g
+            .add(
+                Op::DepthwiseConv2d {
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                &[x],
+            )
+            .unwrap();
+        assert_eq!(g.shape(d), Shape::chw(32, 112, 112));
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = Shape::chw(3, 224, 224);
+        assert_eq!(s.elems(), 3 * 224 * 224);
+        assert_eq!(s.bytes(), 3 * 224 * 224 * 4);
+        assert_eq!(format!("{s}"), "3x224x224");
+    }
+}

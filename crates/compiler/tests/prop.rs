@@ -1,0 +1,113 @@
+//! Property-based tests for the compiler pipeline.
+
+use proptest::prelude::*;
+
+use paella_compiler::{compile, fuse, CostModel, Graph, Op, Shape};
+
+/// A random feed-forward CNN-ish graph: a chain of ops with occasional
+/// residual adds.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0u8..6, 1u32..64, any::<bool>()), 1..30).prop_map(|layers| {
+        let mut g = Graph::new();
+        let mut cur = g.input(Shape::chw(3, 64, 64));
+        let mut residual: Option<paella_compiler::NodeId> = None;
+        for (kind, ch, take_residual) in layers {
+            let next = match kind {
+                0 => g.add(
+                    Op::Conv2d {
+                        out_channels: ch,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                    },
+                    &[cur],
+                ),
+                1 => g.add(Op::Relu, &[cur]),
+                2 => g.add(Op::BatchNorm, &[cur]),
+                3 => g.add(Op::MaxPool { size: 2, stride: 1 }, &[cur]),
+                4 => g.add(
+                    Op::DepthwiseConv2d {
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                    },
+                    &[cur],
+                ),
+                _ => match residual {
+                    Some(r) if g.shape(r) == g.shape(cur) => g.add(Op::Add, &[r, cur]),
+                    _ => g.add(Op::Relu, &[cur]),
+                },
+            }
+            .expect("ops are shape-safe by construction");
+            if take_residual {
+                residual = Some(next);
+            }
+            cur = next;
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fusion covers every non-input node exactly once.
+    #[test]
+    fn fusion_is_a_partition(g in arb_graph()) {
+        let groups = fuse(&g);
+        let mut covered = std::collections::HashSet::new();
+        for gr in &groups {
+            prop_assert!(covered.insert(gr.anchor), "anchor duplicated");
+            for &f in &gr.fused {
+                prop_assert!(covered.insert(f), "fused node duplicated");
+            }
+        }
+        let expected: std::collections::HashSet<_> = g
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.op, Op::Input))
+            .map(|n| n.id)
+            .collect();
+        prop_assert_eq!(covered, expected);
+    }
+
+    /// Compilation is deterministic and produces sane kernels.
+    #[test]
+    fn compile_deterministic_and_sane(g in arb_graph(), cal in 0.1f64..10.0) {
+        let cm = CostModel::default();
+        let a = compile("p", &g, &cm, cal);
+        let b = compile("p", &g, &cm, cal);
+        prop_assert_eq!(a.kernel_count(), b.kernel_count());
+        for (ka, kb) in a.kernels().zip(b.kernels()) {
+            prop_assert_eq!(ka.grid_blocks, kb.grid_blocks);
+            prop_assert_eq!(ka.duration.base, kb.duration.base);
+            prop_assert!(ka.grid_blocks >= 1);
+            prop_assert!(ka.footprint.threads >= 1 && ka.footprint.threads <= 1024);
+            prop_assert!(ka.duration.base.as_nanos() > 0);
+        }
+        prop_assert!(a.input_bytes > 0 && a.output_bytes > 0);
+    }
+
+    /// Scaling the calibration factor scales every kernel duration
+    /// proportionally (modulo nanosecond rounding).
+    #[test]
+    fn calibration_is_linear(g in arb_graph(), k in 1.5f64..4.0) {
+        let cm = CostModel::default();
+        let base = compile("p", &g, &cm, 1.0);
+        let scaled = compile("p", &g, &cm, k);
+        for (a, b) in base.kernels().zip(scaled.kernels()) {
+            let ratio = b.duration.base.as_nanos() as f64 / a.duration.base.as_nanos().max(1) as f64;
+            prop_assert!((ratio - k).abs() / k < 0.01, "ratio {ratio} vs {k}");
+        }
+    }
+
+    /// The instrumentation pass is uniform and reversible-by-copy.
+    #[test]
+    fn instrumentation_uniform(g in arb_graph()) {
+        let m = compile("p", &g, &CostModel::default(), 1.0);
+        let im = paella_compiler::instrumented(&m, paella_gpu::InstrumentationSpec::default());
+        prop_assert!(m.kernels().all(|k| k.instrumentation.is_none()));
+        prop_assert!(im.kernels().all(|k| k.instrumentation.is_some()));
+        prop_assert_eq!(m.kernel_count(), im.kernel_count());
+    }
+}

@@ -1,0 +1,289 @@
+//! Multi-Instance GPU (MIG) support — the §8 discussion item.
+//!
+//! MIG slices a GPU's SMs into strongly isolated partitions. For *known,
+//! static* partitions the paper notes Paella's techniques apply directly:
+//! each partition gets its own dispatcher over its own slice of SMs and
+//! hardware queues. [`MigServing`] implements that topology: a set of
+//! per-partition [`Dispatcher`]s behind one [`ServingSystem`] facade, with
+//! models pinned to partitions at registration time.
+
+use paella_channels::ChannelConfig;
+use paella_compiler::CompiledModel;
+use paella_gpu::DeviceConfig;
+use paella_sim::SimTime;
+
+use crate::dispatcher::{Dispatcher, DispatcherConfig};
+use crate::sched::{Scheduler, SrptDeficitScheduler};
+use crate::serve::ServingSystem;
+use crate::types::{InferenceRequest, JobCompletion, ModelId};
+
+/// Splits a device into MIG-style partitions with `slices[i]` SMs each.
+/// Hardware queues are divided proportionally (at least one per partition).
+///
+/// # Panics
+///
+/// Panics if `slices` is empty, contains a zero, or oversubscribes the SMs.
+pub fn partition_device(device: &DeviceConfig, slices: &[u32]) -> Vec<DeviceConfig> {
+    assert!(!slices.is_empty(), "at least one partition");
+    assert!(slices.iter().all(|&s| s > 0), "empty partition");
+    let total: u32 = slices.iter().sum();
+    assert!(
+        total <= device.num_sms,
+        "partitions ({total} SMs) exceed the device ({} SMs)",
+        device.num_sms
+    );
+    slices
+        .iter()
+        .map(|&sms| {
+            let mut d = device.clone();
+            d.num_sms = sms;
+            d.num_hw_queues = (device.num_hw_queues * sms / device.num_sms).max(1);
+            d
+        })
+        .collect()
+}
+
+/// A Paella deployment over static MIG partitions.
+pub struct MigServing {
+    partitions: Vec<Dispatcher>,
+    /// Maps the public model id to (partition, partition-local model id).
+    routes: Vec<(usize, ModelId)>,
+    /// Round-robin cursor for model registration.
+    next_partition: usize,
+}
+
+impl MigServing {
+    /// Creates one Paella dispatcher per partition. `make_scheduler` builds
+    /// each partition's policy (they are independent).
+    pub fn new(
+        device: &DeviceConfig,
+        slices: &[u32],
+        channels: ChannelConfig,
+        cfg: DispatcherConfig,
+        mut make_scheduler: impl FnMut() -> Box<dyn Scheduler>,
+        seed: u64,
+    ) -> Self {
+        let partitions = partition_device(device, slices)
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Dispatcher::new(
+                    d,
+                    channels,
+                    make_scheduler(),
+                    cfg,
+                    seed.wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        MigServing {
+            partitions,
+            routes: Vec::new(),
+            next_partition: 0,
+        }
+    }
+
+    /// Convenience: SRPT + deficit partitions with the default config.
+    pub fn paella(device: &DeviceConfig, slices: &[u32], seed: u64) -> Self {
+        MigServing::new(
+            device,
+            slices,
+            ChannelConfig::default(),
+            DispatcherConfig::paella(),
+            || Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            seed,
+        )
+    }
+
+    /// Registers `model` on a specific partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn register_model_on(&mut self, partition: usize, model: &CompiledModel) -> ModelId {
+        let local = self.partitions[partition].register_model(model);
+        let public = ModelId(self.routes.len() as u32);
+        self.routes.push((partition, local));
+        public
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+impl ServingSystem for MigServing {
+    /// Registers a model, assigning partitions round-robin. Use
+    /// [`register_model_on`](MigServing::register_model_on) for explicit
+    /// placement.
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId {
+        let p = self.next_partition;
+        self.next_partition = (self.next_partition + 1) % self.partitions.len();
+        self.register_model_on(p, model)
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        let (p, local) = self.routes[req.model.0 as usize];
+        self.partitions[p].submit(InferenceRequest {
+            model: local,
+            ..req
+        });
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.partitions
+            .iter_mut()
+            .filter_map(|d| d.next_event_time())
+            .min()
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        for d in &mut self.partitions {
+            d.advance_until(t);
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        let mut out = Vec::new();
+        for (p, d) in self.partitions.iter_mut().enumerate() {
+            for mut c in d.drain_completions() {
+                // Translate the partition-local model id back to the public
+                // id for the harness.
+                if let Some(pub_id) = self
+                    .routes
+                    .iter()
+                    .position(|&(rp, rm)| rp == p && rm == c.request.model)
+                {
+                    c.request.model = ModelId(pub_id as u32);
+                }
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("paella-mig[{}]", self.partitions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClientId;
+    use paella_gpu::{BlockFootprint, DurationModel, KernelDesc};
+    use paella_sim::SimDuration;
+
+    fn toy_model(name: &str, kernels: u32, us: u64) -> CompiledModel {
+        let kernel = KernelDesc {
+            name: format!("{name}_op"),
+            grid_blocks: 32,
+            footprint: BlockFootprint {
+                threads: 128,
+                regs_per_thread: 16,
+                shmem: 0,
+            },
+            duration: DurationModel::fixed(SimDuration::from_micros(us)),
+            instrumentation: None,
+        };
+        CompiledModel {
+            name: name.to_string(),
+            ops: std::iter::once(paella_compiler::DeviceOp::InputCopy { bytes: 64 })
+                .chain((0..kernels).map(|_| paella_compiler::DeviceOp::Kernel(kernel.clone())))
+                .chain(std::iter::once(paella_compiler::DeviceOp::OutputCopy {
+                    bytes: 64,
+                }))
+                .collect(),
+            schedule: None,
+            input_bytes: 64,
+            output_bytes: 64,
+            weight_bytes: 0,
+            flops: 0,
+        }
+    }
+
+    #[test]
+    fn partition_device_splits_proportionally() {
+        let t4 = DeviceConfig::tesla_t4();
+        let parts = partition_device(&t4, &[20, 10, 10]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].num_sms, 20);
+        assert_eq!(parts[0].num_hw_queues, 16);
+        assert_eq!(parts[1].num_sms, 10);
+        assert_eq!(parts[1].num_hw_queues, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the device")]
+    fn oversubscription_rejected() {
+        partition_device(&DeviceConfig::tesla_t4(), &[30, 20]);
+    }
+
+    #[test]
+    fn jobs_route_to_their_partition_and_complete() {
+        let mut mig = MigServing::paella(&DeviceConfig::tesla_t4(), &[20, 20], 7);
+        let a = mig.register_model(&toy_model("a", 4, 100));
+        let b = mig.register_model(&toy_model("b", 4, 100));
+        for i in 0..10 {
+            mig.submit(InferenceRequest {
+                client: ClientId(0),
+                model: if i % 2 == 0 { a } else { b },
+                submitted_at: SimTime::from_micros(i * 10),
+            });
+        }
+        mig.run_to_idle();
+        let done = mig.drain_completions();
+        assert_eq!(done.len(), 10);
+        assert_eq!(done.iter().filter(|c| c.request.model == a).count(), 5);
+        assert_eq!(done.iter().filter(|c| c.request.model == b).count(), 5);
+    }
+
+    #[test]
+    fn partitions_are_strongly_isolated() {
+        // Saturate partition 0; partition 1's latency must be unaffected
+        // compared to a run without the saturating load.
+        let victim_latency = |with_load: bool| {
+            let mut mig = MigServing::paella(&DeviceConfig::tesla_t4(), &[20, 20], 7);
+            let noisy = mig.register_model_on(0, &toy_model("noisy", 16, 500));
+            let victim = mig.register_model_on(1, &toy_model("victim", 4, 100));
+            if with_load {
+                for i in 0..50 {
+                    mig.submit(InferenceRequest {
+                        client: ClientId(0),
+                        model: noisy,
+                        submitted_at: SimTime::from_micros(i),
+                    });
+                }
+            }
+            mig.submit(InferenceRequest {
+                client: ClientId(1),
+                model: victim,
+                submitted_at: SimTime::from_micros(100),
+            });
+            mig.run_to_idle();
+            let done = mig.drain_completions();
+            done.iter()
+                .find(|c| c.request.model == victim)
+                .unwrap()
+                .jct()
+        };
+        let quiet = victim_latency(false);
+        let loaded = victim_latency(true);
+        assert_eq!(quiet, loaded, "MIG isolation must hold exactly");
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let mut mig = MigServing::paella(&DeviceConfig::tesla_t4(), &[8, 32], 7);
+        let m = mig.register_model_on(1, &toy_model("big", 2, 50));
+        mig.submit(InferenceRequest {
+            client: ClientId(0),
+            model: m,
+            submitted_at: SimTime::ZERO,
+        });
+        mig.run_to_idle();
+        assert_eq!(mig.drain_completions().len(), 1);
+        assert_eq!(mig.partitions(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Remote inference (§5.1 "Remote inference").
+//!
+//! Paella handles remote requests by running a local client that acts as an
+//! RPC server for remote callers, transparently forwarding messages between
+//! the remote client and the shared-memory protocol, with both ends using
+//! kernel-bypass networking (the paper cites eRPC). [`RemoteGateway`] wraps
+//! any [`ServingSystem`] and adds exactly those costs: a per-message
+//! kernel-bypass RPC latency plus line-rate payload serialization on each
+//! direction, and a gateway CPU cost on the forwarding client.
+
+use paella_sim::{EventQueue, SimDuration, SimTime};
+
+use crate::serve::ServingSystem;
+use crate::types::{InferenceRequest, JobCompletion, ModelId};
+
+/// Cost model for an eRPC-style kernel-bypass network path.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcNetModel {
+    /// One-way network + NIC latency per message.
+    pub one_way: SimDuration,
+    /// Payload cost per byte (line rate), applied per direction.
+    pub per_byte_ns: f64,
+    /// Gateway (local client) CPU per forwarded message.
+    pub forward_cost: SimDuration,
+}
+
+impl Default for RpcNetModel {
+    fn default() -> Self {
+        // eRPC on a datacenter network: ~2 µs one-way, ~100 Gb/s line rate.
+        RpcNetModel {
+            one_way: SimDuration::from_micros(2),
+            per_byte_ns: 0.08,
+            forward_cost: SimDuration::from_nanos(600),
+        }
+    }
+}
+
+impl RpcNetModel {
+    /// One-way cost for a `bytes` payload.
+    pub fn transfer(&self, bytes: usize) -> SimDuration {
+        self.one_way
+            + self.forward_cost
+            + SimDuration::from_micros_f64(self.per_byte_ns * bytes as f64 / 1_000.0)
+    }
+}
+
+/// A remote-inference front end over any serving system.
+pub struct RemoteGateway<S: ServingSystem> {
+    inner: S,
+    net: RpcNetModel,
+    /// Input/output payload sizes per registered model.
+    payloads: Vec<(usize, usize)>,
+    /// Requests in flight over the ingress network.
+    ingress: EventQueue<InferenceRequest>,
+    completions: Vec<JobCompletion>,
+}
+
+impl<S: ServingSystem> RemoteGateway<S> {
+    /// Wraps `inner` with the given network model.
+    pub fn new(inner: S, net: RpcNetModel) -> Self {
+        RemoteGateway {
+            inner,
+            net,
+            payloads: Vec::new(),
+            ingress: EventQueue::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Registers a model along with its request/response payload sizes.
+    pub fn register_model_with_payload(
+        &mut self,
+        model: &paella_compiler::CompiledModel,
+    ) -> ModelId {
+        let id = self.inner.register_model(model);
+        debug_assert_eq!(id.0 as usize, self.payloads.len());
+        self.payloads.push((model.input_bytes, model.output_bytes));
+        id
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ServingSystem> ServingSystem for RemoteGateway<S> {
+    fn register_model(&mut self, model: &paella_compiler::CompiledModel) -> ModelId {
+        self.register_model_with_payload(model)
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        let (input, _) = self.payloads[req.model.0 as usize];
+        let arrive = req.submitted_at + self.net.transfer(input);
+        self.ingress
+            .schedule_at(arrive.max(self.ingress.now()), req);
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        match (self.inner.next_event_time(), self.ingress.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        loop {
+            let ti = self.ingress.peek_time();
+            let tn = self.inner.next_event_time();
+            let next = match (ti, tn) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > t {
+                break;
+            }
+            if ti.is_some_and(|a| tn.is_none_or(|b| a <= b)) {
+                let (at, req) = self.ingress.pop().expect("peeked");
+                // The gateway's local client re-submits through the
+                // shared-memory protocol; the original submission time is
+                // kept for end-to-end accounting, so charge the ingress
+                // delay by shifting the submission the inner system sees.
+                let _ = at;
+                self.inner.submit(InferenceRequest {
+                    submitted_at: at,
+                    ..req
+                });
+            } else {
+                self.inner.advance_until(next);
+            }
+            // Drain matured completions: add the egress network and restore
+            // the remote client's original submission time (the ingress
+            // delay is deterministic per model, so it can be subtracted
+            // back out exactly).
+            for mut c in self.inner.drain_completions() {
+                let (input, output) = self.payloads[c.request.model.0 as usize];
+                let ingress = self.net.transfer(input);
+                let egress = self.net.transfer(output);
+                c.client_visible_at += egress;
+                c.request.submitted_at = SimTime::from_nanos(
+                    c.request
+                        .submitted_at
+                        .as_nanos()
+                        .saturating_sub(ingress.as_nanos()),
+                );
+                c.breakdown.communication += ingress + egress;
+                self.completions.push(c);
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn name(&self) -> String {
+        format!("remote[{}]", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::{Dispatcher, DispatcherConfig};
+    use crate::sched::SrptDeficitScheduler;
+    use crate::types::ClientId;
+    use paella_channels::ChannelConfig;
+    use paella_gpu::{BlockFootprint, DeviceConfig, DurationModel, KernelDesc};
+    use paella_sim::SimDuration;
+
+    fn model(input: usize) -> paella_compiler::CompiledModel {
+        let kernel = KernelDesc {
+            name: "r".to_string(),
+            grid_blocks: 16,
+            footprint: BlockFootprint {
+                threads: 128,
+                regs_per_thread: 16,
+                shmem: 0,
+            },
+            duration: DurationModel::fixed(SimDuration::from_micros(200)),
+            instrumentation: None,
+        };
+        paella_compiler::CompiledModel {
+            name: "remote-test".to_string(),
+            ops: vec![
+                paella_compiler::DeviceOp::InputCopy { bytes: input },
+                paella_compiler::DeviceOp::Kernel(kernel),
+                paella_compiler::DeviceOp::OutputCopy { bytes: 4_000 },
+            ],
+            schedule: None,
+            input_bytes: input,
+            output_bytes: 4_000,
+            weight_bytes: 0,
+            flops: 0,
+        }
+    }
+
+    fn local() -> Dispatcher {
+        Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            DispatcherConfig::paella(),
+            3,
+        )
+    }
+
+    #[test]
+    fn remote_adds_two_network_crossings() {
+        let m = model(600_000);
+        let jct_local = {
+            let mut d = local();
+            let id = d.register_model(&m);
+            d.submit(InferenceRequest {
+                client: ClientId(0),
+                model: id,
+                submitted_at: SimTime::ZERO,
+            });
+            d.run_to_idle();
+            d.drain_completions()[0].jct()
+        };
+        let net = RpcNetModel::default();
+        let mut g = RemoteGateway::new(local(), net);
+        let id = g.register_model(&m);
+        g.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        g.run_to_idle();
+        let done = g.drain_completions();
+        assert_eq!(done.len(), 1);
+        let jct_remote = done[0].jct();
+        let expected_extra = net.transfer(600_000) + net.transfer(4_000);
+        let extra = jct_remote.saturating_sub(jct_local);
+        // Within a microsecond of the modelled crossings (scheduling noise).
+        assert!(
+            extra >= expected_extra.saturating_sub(SimDuration::from_micros(1))
+                && extra <= expected_extra + SimDuration::from_micros(5),
+            "extra {extra} vs expected {expected_extra}"
+        );
+    }
+
+    #[test]
+    fn kernel_bypass_is_far_cheaper_than_grpc() {
+        // The premise for using eRPC: a 600 KB tensor costs ~50 µs, not
+        // hundreds (Fig. 3's gRPC numbers).
+        let net = RpcNetModel::default();
+        let t = net.transfer(600_000);
+        assert!(t < SimDuration::from_micros(60), "eRPC transfer {t}");
+        assert!(t > SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn remote_preserves_ordering_and_counts() {
+        let m = model(10_000);
+        let mut g = RemoteGateway::new(local(), RpcNetModel::default());
+        let id = g.register_model(&m);
+        for i in 0..20 {
+            g.submit(InferenceRequest {
+                client: ClientId(i % 4),
+                model: id,
+                submitted_at: SimTime::from_micros(u64::from(i) * 50),
+            });
+        }
+        g.run_to_idle();
+        let done = g.drain_completions();
+        assert_eq!(done.len(), 20);
+        for c in &done {
+            assert!(c.client_visible_at > c.request.submitted_at);
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Job schedulers (§6).
+//!
+//! The dispatcher asks its scheduler one question, repeatedly: *which ready
+//! job's next kernel should be dispatched now?* Because scheduling runs on
+//! the dispatcher's critical path at per-kernel granularity, implementations
+//! must be cheap (Fig. 9 shows throughput collapsing once per-decision cost
+//! grows past ~10 µs).
+//!
+//! Provided policies (Table 3):
+//!
+//! * [`FifoScheduler`] — job arrival order (Paella-SS/jbj ablations).
+//! * [`SjfScheduler`] — shortest *total* estimated job time first.
+//! * [`RrScheduler`] — round-robin over ready jobs.
+//! * [`SrptDeficitScheduler`] — the default: shortest *remaining* processing
+//!   time, bounded by per-client deficit counters for fairness.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use paella_sim::{SimDuration, SimTime};
+
+use crate::types::{ClientId, JobId};
+
+/// Everything a policy may consider about a ready job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobInfo {
+    /// The job.
+    pub job: JobId,
+    /// Submitting client (for fairness accounting).
+    pub client: ClientId,
+    /// Arrival time at the dispatcher.
+    pub arrival: SimTime,
+    /// Estimated total processing time of the whole job (at arrival).
+    pub total_estimate: SimDuration,
+    /// Estimated remaining processing time right now.
+    pub remaining_estimate: SimDuration,
+}
+
+/// A job-selection policy.
+///
+/// Contract: between [`job_ready`](Scheduler::job_ready) and
+/// [`job_blocked`](Scheduler::job_blocked)/[`job_done`](Scheduler::job_done),
+/// a job is *ready* and may be returned by
+/// [`pick_next`](Scheduler::pick_next). `remaining_changed` informs the
+/// policy of estimate updates for a currently-ready job.
+pub trait Scheduler {
+    /// A job became ready (its next kernel may be dispatched).
+    fn job_ready(&mut self, info: JobInfo);
+
+    /// A ready job became blocked (its kernel was dispatched; the next one
+    /// is not yet eligible) or was removed.
+    fn job_blocked(&mut self, job: JobId);
+
+    /// A job finished entirely.
+    fn job_done(&mut self, job: JobId) {
+        self.job_blocked(job);
+    }
+
+    /// A ready job's remaining-time estimate changed.
+    fn remaining_changed(&mut self, job: JobId, remaining: SimDuration);
+
+    /// A kernel of `job` was dispatched (fairness accounting hook). The job
+    /// is still ready at the time of the call.
+    fn on_dispatched(&mut self, _job: JobId) {}
+
+    /// A client has no jobs left in the system (deficit-round-robin style
+    /// bookkeeping resets its credit so stale imbalance cannot accumulate).
+    fn client_idle(&mut self, _client: ClientId) {}
+
+    /// Picks the next job to dispatch a kernel for, without removing it.
+    fn pick_next(&mut self) -> Option<JobId>;
+
+    /// Number of currently ready jobs.
+    fn ready_len(&self) -> usize;
+
+    /// Policy name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+/// First-come-first-served over job arrival times.
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    ready: BTreeMap<(SimTime, JobId), JobId>,
+    index: HashMap<JobId, (SimTime, JobId)>,
+}
+
+impl FifoScheduler {
+    /// Creates an empty FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn job_ready(&mut self, info: JobInfo) {
+        let key = (info.arrival, info.job);
+        self.ready.insert(key, info.job);
+        self.index.insert(info.job, key);
+    }
+
+    fn job_blocked(&mut self, job: JobId) {
+        if let Some(key) = self.index.remove(&job) {
+            self.ready.remove(&key);
+        }
+    }
+
+    fn remaining_changed(&mut self, _job: JobId, _remaining: SimDuration) {}
+
+    fn pick_next(&mut self) -> Option<JobId> {
+        self.ready.values().next().copied()
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SJF
+// ---------------------------------------------------------------------------
+
+/// Shortest (total) job first; ties break on arrival.
+#[derive(Debug, Default)]
+pub struct SjfScheduler {
+    ready: BTreeMap<(SimDuration, SimTime, JobId), JobId>,
+    index: HashMap<JobId, (SimDuration, SimTime, JobId)>,
+}
+
+impl SjfScheduler {
+    /// Creates an empty SJF scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for SjfScheduler {
+    fn job_ready(&mut self, info: JobInfo) {
+        let key = (info.total_estimate, info.arrival, info.job);
+        self.ready.insert(key, info.job);
+        self.index.insert(info.job, key);
+    }
+
+    fn job_blocked(&mut self, job: JobId) {
+        if let Some(key) = self.index.remove(&job) {
+            self.ready.remove(&key);
+        }
+    }
+
+    fn remaining_changed(&mut self, _job: JobId, _remaining: SimDuration) {
+        // SJF keys on the total estimate, fixed at arrival.
+    }
+
+    fn pick_next(&mut self) -> Option<JobId> {
+        self.ready.values().next().copied()
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin
+// ---------------------------------------------------------------------------
+
+/// Round-robin over ready jobs: each pick rotates the job to the back.
+#[derive(Debug, Default)]
+pub struct RrScheduler {
+    queue: VecDeque<JobId>,
+    ready: BTreeSet<JobId>,
+}
+
+impl RrScheduler {
+    /// Creates an empty round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RrScheduler {
+    fn job_ready(&mut self, info: JobInfo) {
+        if self.ready.insert(info.job) {
+            self.queue.push_back(info.job);
+        }
+    }
+
+    fn job_blocked(&mut self, job: JobId) {
+        self.ready.remove(&job);
+    }
+
+    fn remaining_changed(&mut self, _job: JobId, _remaining: SimDuration) {}
+
+    fn pick_next(&mut self) -> Option<JobId> {
+        // Skip stale queue entries for jobs no longer ready.
+        while let Some(&front) = self.queue.front() {
+            if self.ready.contains(&front) {
+                // Rotate so the next pick favours a different job.
+                self.queue.rotate_left(1);
+                return Some(front);
+            }
+            self.queue.pop_front();
+        }
+        None
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SRPT + deficit fairness (the Paella default)
+// ---------------------------------------------------------------------------
+
+/// The §6 default policy.
+///
+/// Two ordered trees: one keyed on remaining time (SRPT) and one on client
+/// deficit. Dispatching a kernel charges the picked client
+/// `1 − 1/#clients` and credits every other client `1/#clients` — realized
+/// O(1) by shifting a global baseline instead of touching every counter.
+/// When a client's deficit exceeds `threshold`, its *oldest* ready job is
+/// picked instead of the SRPT winner.
+#[derive(Debug)]
+pub struct SrptDeficitScheduler {
+    /// Fairness threshold (µs-equivalent units of deficit); `None` disables
+    /// fairness (pure SRPT).
+    threshold: Option<f64>,
+    srpt: BTreeMap<(u64, JobId), JobId>,
+    srpt_index: HashMap<JobId, (u64, JobId)>,
+    /// Per-client state.
+    clients: HashMap<ClientId, ClientState>,
+    /// Deficit order: (quantized negative-deficit, client) → client, so the
+    /// *highest* deficit sorts first.
+    ready_jobs: HashMap<JobId, JobInfo>,
+    /// Global deficit baseline: true_deficit(c) = raw(c) − baseline.
+    baseline: f64,
+}
+
+#[derive(Debug, Default)]
+struct ClientState {
+    raw_deficit: f64,
+    /// Ready jobs of this client, oldest first.
+    ready: BTreeSet<(SimTime, JobId)>,
+}
+
+impl SrptDeficitScheduler {
+    /// Creates the default scheduler with the given fairness threshold.
+    pub fn new(threshold: Option<f64>) -> Self {
+        SrptDeficitScheduler {
+            threshold,
+            srpt: BTreeMap::new(),
+            srpt_index: HashMap::new(),
+            clients: HashMap::new(),
+            ready_jobs: HashMap::new(),
+            baseline: 0.0,
+        }
+    }
+
+    /// Pure SRPT (no fairness bound).
+    pub fn srpt_only() -> Self {
+        Self::new(None)
+    }
+
+    fn key(remaining: SimDuration, job: JobId) -> (u64, JobId) {
+        (remaining.as_nanos(), job)
+    }
+
+    /// The client currently over the fairness threshold with the highest
+    /// deficit, if any, among clients with ready jobs.
+    fn over_threshold_client(&self) -> Option<ClientId> {
+        let threshold = self.threshold?;
+        let mut best: Option<(f64, ClientId)> = None;
+        for (&c, s) in &self.clients {
+            if s.ready.is_empty() {
+                continue;
+            }
+            let d = s.raw_deficit - self.baseline;
+            if d > threshold && best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Current deficit of a client (test/diagnostic hook).
+    pub fn deficit(&self, client: ClientId) -> f64 {
+        self.clients
+            .get(&client)
+            .map(|s| s.raw_deficit - self.baseline)
+            .unwrap_or(0.0)
+    }
+
+    /// Records that a kernel of `job` was dispatched, charging fairness
+    /// deficits. The dispatcher calls this on every dispatch.
+    pub fn charge(&mut self, job: JobId) {
+        let Some(info) = self.ready_jobs.get(&job) else {
+            return;
+        };
+        let client = info.client;
+        let n = self
+            .clients
+            .iter()
+            .filter(|(_, s)| !s.ready.is_empty())
+            .count()
+            .max(1) as f64;
+        // Charged client: −(1 − 1/n); everyone else: +1/n. Realized as
+        // raw[c] −= 1 and baseline −= 1/n (an O(1) global credit).
+        if let Some(s) = self.clients.get_mut(&client) {
+            s.raw_deficit -= 1.0;
+        }
+        self.baseline -= 1.0 / n;
+        // Periodically rebase to avoid unbounded drift.
+        if self.baseline < -1e12 {
+            for s in self.clients.values_mut() {
+                s.raw_deficit -= self.baseline;
+            }
+            self.baseline = 0.0;
+        }
+    }
+}
+
+impl Scheduler for SrptDeficitScheduler {
+    fn job_ready(&mut self, info: JobInfo) {
+        // Re-readying with a different remaining-time key must not leave a
+        // stale tree entry behind, or `job_blocked` can no longer remove it.
+        self.job_blocked(info.job);
+        let key = Self::key(info.remaining_estimate, info.job);
+        self.srpt.insert(key, info.job);
+        self.srpt_index.insert(info.job, key);
+        self.ready_jobs.insert(info.job, info);
+        self.clients
+            .entry(info.client)
+            .or_default()
+            .ready
+            .insert((info.arrival, info.job));
+    }
+
+    fn job_blocked(&mut self, job: JobId) {
+        if let Some(key) = self.srpt_index.remove(&job) {
+            self.srpt.remove(&key);
+        }
+        if let Some(info) = self.ready_jobs.remove(&job) {
+            if let Some(s) = self.clients.get_mut(&info.client) {
+                s.ready.remove(&(info.arrival, job));
+            }
+        }
+    }
+
+    fn remaining_changed(&mut self, job: JobId, remaining: SimDuration) {
+        if let Some(old_key) = self.srpt_index.remove(&job) {
+            self.srpt.remove(&old_key);
+            let key = Self::key(remaining, job);
+            self.srpt.insert(key, job);
+            self.srpt_index.insert(job, key);
+            if let Some(info) = self.ready_jobs.get_mut(&job) {
+                info.remaining_estimate = remaining;
+            }
+        }
+    }
+
+    fn on_dispatched(&mut self, job: JobId) {
+        self.charge(job);
+    }
+
+    fn client_idle(&mut self, client: ClientId) {
+        // DRR semantics: an idle client's credit resets, so deficits only
+        // reflect *current* contention, not history.
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.raw_deficit = self.baseline;
+        }
+    }
+
+    fn pick_next(&mut self) -> Option<JobId> {
+        if let Some(client) = self.over_threshold_client() {
+            // Oldest ready job of the most-starved client.
+            let s = &self.clients[&client];
+            if let Some(&(_, job)) = s.ready.first() {
+                return Some(job);
+            }
+        }
+        self.srpt.values().next().copied()
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready_jobs.len()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.threshold.is_some() {
+            "srpt+deficit"
+        } else {
+            "srpt"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(job: u64, client: u32, arrival_us: u64, total_us: u64, remaining_us: u64) -> JobInfo {
+        JobInfo {
+            job: JobId(job),
+            client: ClientId(client),
+            arrival: SimTime::from_micros(arrival_us),
+            total_estimate: SimDuration::from_micros(total_us),
+            remaining_estimate: SimDuration::from_micros(remaining_us),
+        }
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut s = FifoScheduler::new();
+        s.job_ready(info(2, 0, 20, 5, 5));
+        s.job_ready(info(1, 0, 10, 50, 50));
+        assert_eq!(s.pick_next(), Some(JobId(1)));
+        s.job_blocked(JobId(1));
+        assert_eq!(s.pick_next(), Some(JobId(2)));
+        s.job_done(JobId(2));
+        assert_eq!(s.pick_next(), None);
+        assert_eq!(s.ready_len(), 0);
+    }
+
+    #[test]
+    fn sjf_orders_by_total_estimate() {
+        let mut s = SjfScheduler::new();
+        s.job_ready(info(1, 0, 10, 100, 100));
+        s.job_ready(info(2, 0, 20, 5, 5));
+        assert_eq!(s.pick_next(), Some(JobId(2)), "shorter job first");
+        // SJF ignores remaining-time updates.
+        s.remaining_changed(JobId(1), SimDuration::from_micros(1));
+        assert_eq!(s.pick_next(), Some(JobId(2)));
+    }
+
+    #[test]
+    fn rr_rotates() {
+        let mut s = RrScheduler::new();
+        s.job_ready(info(1, 0, 0, 10, 10));
+        s.job_ready(info(2, 0, 0, 10, 10));
+        s.job_ready(info(3, 0, 0, 10, 10));
+        let picks: Vec<JobId> = (0..6).map(|_| s.pick_next().unwrap()).collect();
+        assert_eq!(
+            picks,
+            [1, 2, 3, 1, 2, 3].map(JobId).to_vec(),
+            "each job served in turn"
+        );
+        // After six picks the queue is back to [1, 2, 3]; blocking job 2
+        // leaves the rotation alternating between jobs 1 and 3.
+        s.job_blocked(JobId(2));
+        let picks: Vec<JobId> = (0..4).map(|_| s.pick_next().unwrap()).collect();
+        assert_eq!(picks, [1, 3, 1, 3].map(JobId).to_vec());
+    }
+
+    #[test]
+    fn rr_duplicate_ready_ignored() {
+        let mut s = RrScheduler::new();
+        s.job_ready(info(1, 0, 0, 10, 10));
+        s.job_ready(info(1, 0, 0, 10, 10));
+        assert_eq!(s.ready_len(), 1);
+        s.job_blocked(JobId(1));
+        assert_eq!(s.pick_next(), None);
+    }
+
+    #[test]
+    fn srpt_prefers_least_remaining() {
+        let mut s = SrptDeficitScheduler::srpt_only();
+        s.job_ready(info(1, 0, 0, 100, 80));
+        s.job_ready(info(2, 1, 5, 200, 10));
+        assert_eq!(s.pick_next(), Some(JobId(2)));
+        // Job 1 progresses below job 2.
+        s.remaining_changed(JobId(1), SimDuration::from_micros(5));
+        assert_eq!(s.pick_next(), Some(JobId(1)));
+    }
+
+    #[test]
+    fn srpt_tie_breaks_deterministically() {
+        let mut s = SrptDeficitScheduler::srpt_only();
+        s.job_ready(info(7, 0, 0, 10, 10));
+        s.job_ready(info(3, 1, 0, 10, 10));
+        assert_eq!(s.pick_next(), Some(JobId(3)), "lower job id wins ties");
+    }
+
+    #[test]
+    fn deficit_triggers_starved_client() {
+        // Client 0 monopolizes via tiny jobs; client 1's long job must be
+        // picked once client 1's deficit exceeds the threshold.
+        let mut s = SrptDeficitScheduler::new(Some(3.0));
+        s.job_ready(info(1, 0, 0, 10, 10));
+        s.job_ready(info(2, 1, 0, 1_000, 1_000));
+        let mut picked_long = false;
+        for _ in 0..20 {
+            let j = s.pick_next().unwrap();
+            if j == JobId(2) {
+                picked_long = true;
+                break;
+            }
+            // Dispatch a kernel of the short job; its remaining stays lowest.
+            s.charge(j);
+        }
+        assert!(picked_long, "deficit must eventually force the long job");
+        assert!(s.deficit(ClientId(1)) > 3.0);
+    }
+
+    #[test]
+    fn zero_threshold_emulates_immediate_fairness() {
+        // As the threshold approaches zero the scheduler alternates —
+        // the paper notes the system then emulates Paella-SS behaviour.
+        let mut s = SrptDeficitScheduler::new(Some(0.4));
+        s.job_ready(info(1, 0, 0, 10, 10));
+        s.job_ready(info(2, 1, 0, 1_000, 1_000));
+        let mut longs = 0;
+        for _ in 0..10 {
+            let j = s.pick_next().unwrap();
+            if j == JobId(2) {
+                longs += 1;
+            }
+            s.charge(j);
+        }
+        assert!(longs >= 4, "near-zero threshold interleaves, got {longs}");
+    }
+
+    #[test]
+    fn re_ready_with_new_remaining_leaves_no_ghost() {
+        // Regression: a job re-readied with a different remaining estimate
+        // must be fully removable; a stale tree entry would make pick_next
+        // return it forever.
+        let mut s = SrptDeficitScheduler::new(Some(100.0));
+        s.job_ready(info(1, 0, 0, 100, 100));
+        s.job_ready(info(1, 0, 0, 100, 40)); // same job, new remaining
+        assert_eq!(s.ready_len(), 1);
+        s.job_blocked(JobId(1));
+        assert_eq!(s.pick_next(), None, "no ghost entries may survive");
+        assert_eq!(s.ready_len(), 0);
+    }
+
+    #[test]
+    fn blocked_client_does_not_trigger_fairness() {
+        let mut s = SrptDeficitScheduler::new(Some(1.0));
+        s.job_ready(info(1, 0, 0, 10, 10));
+        s.job_ready(info(2, 1, 0, 1_000, 1_000));
+        for _ in 0..5 {
+            s.charge(JobId(1));
+        }
+        // Client 1's job goes away (blocked): SRPT winner is client 0 again.
+        s.job_blocked(JobId(2));
+        assert_eq!(s.pick_next(), Some(JobId(1)));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FifoScheduler::new().name(), "fifo");
+        assert_eq!(SjfScheduler::new().name(), "sjf");
+        assert_eq!(RrScheduler::new().name(), "rr");
+        assert_eq!(SrptDeficitScheduler::new(Some(1.0)).name(), "srpt+deficit");
+        assert_eq!(SrptDeficitScheduler::srpt_only().name(), "srpt");
+    }
+}

@@ -1,0 +1,63 @@
+//! The common interface every serving system under test implements —
+//! Paella, its ablations, and the baselines of Table 3 — so the experiment
+//! harness can drive them interchangeably.
+
+use paella_compiler::CompiledModel;
+use paella_sim::SimTime;
+
+use crate::dispatcher::Dispatcher;
+use crate::types::{InferenceRequest, JobCompletion, ModelId};
+
+/// A model-serving system running on simulated time.
+pub trait ServingSystem {
+    /// Registers a model and returns its id for requests.
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId;
+
+    /// Submits a request (open-loop: the harness controls `submitted_at`).
+    fn submit(&mut self, req: InferenceRequest);
+
+    /// Earliest pending internal work.
+    fn next_event_time(&mut self) -> Option<SimTime>;
+
+    /// Processes all internal work with timestamp ≤ `t`.
+    fn advance_until(&mut self, t: SimTime);
+
+    /// Takes completions recorded so far.
+    fn drain_completions(&mut self) -> Vec<JobCompletion>;
+
+    /// Runs until all in-flight work drains.
+    fn run_to_idle(&mut self) {
+        while let Some(t) = self.next_event_time() {
+            self.advance_until(t);
+        }
+    }
+
+    /// Display name (Table 3's "Key" column).
+    fn name(&self) -> String;
+}
+
+impl ServingSystem for Dispatcher {
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId {
+        Dispatcher::register_model(self, model)
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        Dispatcher::submit(self, req)
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        Dispatcher::next_event_time(self)
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        Dispatcher::advance_until(self, t)
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        Dispatcher::drain_completions(self)
+    }
+
+    fn name(&self) -> String {
+        format!("dispatcher[{}]", self.scheduler_name())
+    }
+}

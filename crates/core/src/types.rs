@@ -1,0 +1,116 @@
+//! Core identifiers and request/response types of the Paella service.
+
+use paella_sim::{SimDuration, SimTime};
+
+/// Identifier of a registered model in the dispatcher's library.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ModelId(pub u32);
+
+/// Identifier of a client connection (one shared-memory region each).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+/// Identifier of an inference job (the `req_id` returned by
+/// `paella.predict`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// An inference request as written to the client→Paella shared-memory ring:
+/// a model name (pre-resolved to an id), the shared buffer, and options.
+/// No marshalling — the paper's `predict(model, len, io_ptr, options)`.
+#[derive(Clone, Copy, Debug)]
+pub struct InferenceRequest {
+    /// Submitting client.
+    pub client: ClientId,
+    /// Which model to run.
+    pub model: ModelId,
+    /// Time the client called `predict` (for end-to-end accounting).
+    pub submitted_at: SimTime,
+}
+
+/// Per-request latency breakdown in the Fig. 10 categories.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Client-side send + receive path (predict call, result pickup).
+    pub client_send_recv: SimDuration,
+    /// Channel/communication latency (rings, notifications, launch paths).
+    pub communication: SimDuration,
+    /// Time spent queued or waiting on scheduling decisions.
+    pub queuing_scheduling: SimDuration,
+    /// Serving-framework CPU time (adaptor, dispatch loop, bookkeeping).
+    pub framework: SimDuration,
+    /// Pure device time (kernels + memcpys on the critical path).
+    pub device: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Total non-device overhead.
+    pub fn overhead(&self) -> SimDuration {
+        self.client_send_recv + self.communication + self.queuing_scheduling + self.framework
+    }
+
+    /// Total end-to-end latency.
+    pub fn total(&self) -> SimDuration {
+        self.overhead() + self.device
+    }
+}
+
+/// A finished job as reported back to the harness/client.
+#[derive(Clone, Copy, Debug)]
+pub struct JobCompletion {
+    /// The job.
+    pub job: JobId,
+    /// The request that spawned it.
+    pub request: InferenceRequest,
+    /// When the *almost finished* wake-up was sent (0 if never).
+    pub almost_finished_at: Option<SimTime>,
+    /// When the final device op finished.
+    pub device_done_at: SimTime,
+    /// When the result became visible to the client (end of JCT).
+    pub client_visible_at: SimTime,
+    /// Latency breakdown.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl JobCompletion {
+    /// Job completion time: client-visible completion minus submission.
+    pub fn jct(&self) -> SimDuration {
+        self.client_visible_at
+            .saturating_since(self.request.submitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums() {
+        let b = LatencyBreakdown {
+            client_send_recv: SimDuration::from_micros(5),
+            communication: SimDuration::from_micros(10),
+            queuing_scheduling: SimDuration::from_micros(20),
+            framework: SimDuration::from_micros(15),
+            device: SimDuration::from_micros(1000),
+        };
+        assert_eq!(b.overhead(), SimDuration::from_micros(50));
+        assert_eq!(b.total(), SimDuration::from_micros(1050));
+    }
+
+    #[test]
+    fn jct_saturates() {
+        let c = JobCompletion {
+            job: JobId(1),
+            request: InferenceRequest {
+                client: ClientId(0),
+                model: ModelId(0),
+                submitted_at: SimTime::from_micros(100),
+            },
+            almost_finished_at: None,
+            device_done_at: SimTime::from_micros(90),
+            client_visible_at: SimTime::from_micros(150),
+            breakdown: LatencyBreakdown::default(),
+        };
+        assert_eq!(c.jct(), SimDuration::from_micros(50));
+    }
+}

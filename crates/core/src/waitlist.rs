@@ -1,0 +1,441 @@
+//! Per-job kernel waitlists (Fig. 7, §4.2).
+//!
+//! The waitlist replaces the CUDA runtime's stream machinery: it tracks
+//! which of a job's intercepted operations are *active* (schedulable now)
+//! versus *inactive* (waiting on stream ordering), reproducing CUDA stream
+//! semantics:
+//!
+//! * within one stream, operations run in issue order, one at a time;
+//! * the **default stream** (stream 0) is serialized against all *blocking*
+//!   streams: a stream-0 op waits for earlier-issued in-flight
+//!   blocking-stream work, and blocking-stream ops wait for earlier-issued
+//!   in-flight stream-0 work;
+//! * *non-blocking* streams (`cudaStreamNonBlocking`) ignore stream 0.
+//!
+//! Completion of an operation (or, in Paella's pipelined mode, its full
+//! placement) *releases* it, activating successors.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// How a (virtual) stream interacts with the default stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamKind {
+    /// The legacy default stream (id 0).
+    Default,
+    /// A stream that synchronizes with the default stream.
+    Blocking,
+    /// A `cudaStreamNonBlocking` stream.
+    NonBlocking,
+}
+
+/// A virtual stream id, job-local.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VStream(pub u32);
+
+impl VStream {
+    /// The default stream.
+    pub const DEFAULT: VStream = VStream(0);
+}
+
+/// An opaque operation token supplied by the caller.
+pub type OpToken = u64;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    token: OpToken,
+    seq: u64,
+    released: bool,
+    /// Tokens that must be *released* before this op may start —
+    /// `cudaStreamWaitEvent`-style cross-stream joins.
+    deps: Vec<OpToken>,
+}
+
+/// The per-job waitlist.
+///
+/// # Examples
+///
+/// ```
+/// use paella_core::{VStream, Waitlist};
+///
+/// let mut w = Waitlist::new();
+/// let s = VStream(1);
+/// assert!(w.push(s, 0), "first op on a stream is active");
+/// assert!(!w.push(s, 1), "second waits behind it");
+/// assert_eq!(w.complete(s, 0), vec![1], "completion activates the next");
+/// ```
+#[derive(Debug, Default)]
+pub struct Waitlist {
+    streams: HashMap<VStream, VecDeque<Entry>>,
+    kinds: HashMap<VStream, StreamKind>,
+    /// Issue sequence numbers of un-released stream-0 ops.
+    default_unreleased: BTreeSet<u64>,
+    /// Issue sequence numbers of un-released blocking-stream ops.
+    blocking_unreleased: BTreeSet<u64>,
+    /// Tokens released so far (for cross-stream dependency checks).
+    released_tokens: HashSet<OpToken>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl Waitlist {
+    /// Creates an empty waitlist.
+    pub fn new() -> Self {
+        Waitlist::default()
+    }
+
+    /// Declares a stream's kind before use. Stream 0 is always
+    /// [`StreamKind::Default`]; undeclared non-zero streams default to
+    /// [`StreamKind::Blocking`] (CUDA's default).
+    pub fn declare_stream(&mut self, s: VStream, kind: StreamKind) {
+        if s == VStream::DEFAULT {
+            debug_assert_eq!(kind, StreamKind::Default, "stream 0 is the default stream");
+            return;
+        }
+        self.kinds.insert(s, kind);
+    }
+
+    fn kind(&self, s: VStream) -> StreamKind {
+        if s == VStream::DEFAULT {
+            StreamKind::Default
+        } else {
+            self.kinds.get(&s).copied().unwrap_or(StreamKind::Blocking)
+        }
+    }
+
+    /// Intercepts an operation issued on stream `s` (Fig. 7's
+    /// `kernelLaunch`). Returns whether the op is immediately *active*.
+    pub fn push(&mut self, s: VStream, token: OpToken) -> bool {
+        self.push_with_deps(s, token, &[])
+    }
+
+    /// Like [`push`](Self::push), but the op additionally waits for every
+    /// token in `deps` to be *released* before becoming active — the
+    /// `cudaStreamWaitEvent` pattern for cross-stream joins.
+    pub fn push_with_deps(&mut self, s: VStream, token: OpToken, deps: &[OpToken]) -> bool {
+        let kind = self.kind(s);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match kind {
+            StreamKind::Default => {
+                self.default_unreleased.insert(seq);
+            }
+            StreamKind::Blocking => {
+                self.blocking_unreleased.insert(seq);
+            }
+            StreamKind::NonBlocking => {}
+        }
+        let q = self.streams.entry(s).or_default();
+        q.push_back(Entry {
+            token,
+            seq,
+            released: false,
+            deps: deps.to_vec(),
+        });
+        let pos = q.len() - 1;
+        self.len += 1;
+        self.entry_active(s, pos)
+    }
+
+    fn entry_active(&self, s: VStream, pos: usize) -> bool {
+        let q = &self.streams[&s];
+        // Must be the stream's earliest un-released op.
+        if q.iter().position(|e| !e.released) != Some(pos) {
+            return false;
+        }
+        let e = &q[pos];
+        if !e.deps.iter().all(|d| self.released_tokens.contains(d)) {
+            return false;
+        }
+        match self.kind(s) {
+            // A stream-0 op waits on earlier-issued blocking work.
+            StreamKind::Default => self
+                .blocking_unreleased
+                .first()
+                .is_none_or(|&first| first > e.seq),
+            // A blocking-stream op waits on earlier-issued stream-0 work.
+            StreamKind::Blocking => self
+                .default_unreleased
+                .first()
+                .is_none_or(|&first| first > e.seq),
+            StreamKind::NonBlocking => true,
+        }
+    }
+
+    /// The set of currently active (schedulable) op tokens, in stream-id
+    /// order.
+    pub fn active(&self) -> Vec<OpToken> {
+        let mut streams: Vec<VStream> = self.streams.keys().copied().collect();
+        streams.sort();
+        let mut out = Vec::new();
+        for s in streams {
+            let q = &self.streams[&s];
+            if let Some(pos) = q.iter().position(|e| !e.released) {
+                if self.entry_active(s, pos) {
+                    out.push(q[pos].token);
+                }
+            }
+        }
+        out
+    }
+
+    /// Releases an op (it completed, or — pipelined mode — fully placed),
+    /// unblocking successors. Returns the tokens that became active as a
+    /// result (i.e. are active now but were not before the release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not the front unreleased op of `s` (stream
+    /// semantics guarantee in-order release) or the stream is unknown.
+    pub fn release(&mut self, s: VStream, token: OpToken) -> Vec<OpToken> {
+        let before = self.active();
+        let kind = self.kind(s);
+        let q = self.streams.get_mut(&s).expect("release on unknown stream");
+        let pos = q
+            .iter()
+            .position(|e| !e.released)
+            .expect("stream has no unreleased ops");
+        assert_eq!(q[pos].token, token, "out-of-order release on stream {s:?}");
+        q[pos].released = true;
+        let seq = q[pos].seq;
+        self.released_tokens.insert(token);
+        match kind {
+            StreamKind::Default => {
+                self.default_unreleased.remove(&seq);
+            }
+            StreamKind::Blocking => {
+                self.blocking_unreleased.remove(&seq);
+            }
+            StreamKind::NonBlocking => {}
+        }
+        self.active()
+            .into_iter()
+            .filter(|t| !before.contains(t))
+            .collect()
+    }
+
+    /// Retires a released op entirely (its resources are gone); used when a
+    /// released-but-running op finally completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op was not previously released.
+    pub fn retire(&mut self, s: VStream, token: OpToken) {
+        let q = self.streams.get_mut(&s).expect("retire on unknown stream");
+        let pos = q
+            .iter()
+            .position(|e| e.released && e.token == token)
+            .expect("retiring an op that was not released");
+        q.remove(pos);
+        self.len -= 1;
+        if q.is_empty() {
+            self.streams.remove(&s);
+        }
+    }
+
+    /// Releases and retires in one step (non-pipelined completion).
+    pub fn complete(&mut self, s: VStream, token: OpToken) -> Vec<OpToken> {
+        let newly = self.release(s, token);
+        self.retire(s, token);
+        newly
+    }
+
+    /// Number of ops still tracked (released-but-running included).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Fig. 7's `deviceSynchronize` predicate: no tracked ops remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_fifo() {
+        let mut w = Waitlist::new();
+        let s = VStream(1);
+        assert!(w.push(s, 10), "first op active");
+        assert!(!w.push(s, 11), "second op inactive behind first");
+        assert!(!w.push(s, 12));
+        assert_eq!(w.active(), vec![10]);
+        assert_eq!(w.complete(s, 10), vec![11]);
+        assert_eq!(w.complete(s, 11), vec![12]);
+        assert_eq!(w.complete(s, 12), Vec::<OpToken>::new());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn independent_blocking_streams_are_concurrent() {
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream(1), 1));
+        assert!(w.push(VStream(2), 2));
+        assert_eq!(w.active(), vec![1, 2]);
+    }
+
+    #[test]
+    fn default_stream_blocks_blocking_streams() {
+        // Fig. 7 line 4: a blocking-stream launch is inactive while stream 0
+        // has earlier kernels.
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream::DEFAULT, 1));
+        assert!(!w.push(VStream(1), 2), "blocked behind stream 0");
+        assert_eq!(w.active(), vec![1]);
+        assert_eq!(w.complete(VStream::DEFAULT, 1), vec![2]);
+    }
+
+    #[test]
+    fn blocking_streams_block_default_stream() {
+        // Fig. 7 line 2: a stream-0 launch is inactive while blocking
+        // streams have earlier kernels.
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream(1), 1));
+        assert!(!w.push(VStream::DEFAULT, 2), "stream 0 blocked");
+        assert_eq!(w.complete(VStream(1), 1), vec![2]);
+    }
+
+    #[test]
+    fn nonblocking_stream_ignores_default() {
+        let mut w = Waitlist::new();
+        w.declare_stream(VStream(7), StreamKind::NonBlocking);
+        assert!(w.push(VStream::DEFAULT, 1));
+        assert!(w.push(VStream(7), 2), "non-blocking stream unaffected");
+        // And stream 0 is likewise unaffected by the non-blocking stream.
+        let mut w2 = Waitlist::new();
+        w2.declare_stream(VStream(7), StreamKind::NonBlocking);
+        assert!(w2.push(VStream(7), 1));
+        assert!(w2.push(VStream::DEFAULT, 2));
+    }
+
+    #[test]
+    fn release_pipelines_successor_while_running() {
+        let mut w = Waitlist::new();
+        let s = VStream(1);
+        w.push(s, 1);
+        w.push(s, 2);
+        // Release (placement seen) without retiring: successor activates,
+        // but the op still counts toward len().
+        assert_eq!(w.release(s, 1), vec![2]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty(), "deviceSynchronize would still wait");
+        w.retire(s, 1);
+        assert_eq!(w.complete(s, 2), Vec::<OpToken>::new());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order release")]
+    fn out_of_order_release_panics() {
+        let mut w = Waitlist::new();
+        let s = VStream(1);
+        w.push(s, 1);
+        w.push(s, 2);
+        let _ = w.release(s, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not released")]
+    fn retire_before_release_panics() {
+        let mut w = Waitlist::new();
+        w.push(VStream(1), 1);
+        w.retire(VStream(1), 1);
+    }
+
+    #[test]
+    fn multi_stream_interleaving() {
+        let mut w = Waitlist::new();
+        for (s, t) in [(1, 10), (1, 11), (2, 20), (2, 21)] {
+            w.push(VStream(s), t);
+        }
+        assert_eq!(w.active(), vec![10, 20]);
+        w.complete(VStream(1), 10);
+        assert_eq!(w.active(), vec![11, 20]);
+        w.complete(VStream(2), 20);
+        w.complete(VStream(2), 21);
+        assert_eq!(w.active(), vec![11]);
+    }
+
+    #[test]
+    fn default_stream_only_waits_on_earlier_issued_work() {
+        // Issue order: blocking op 1, stream-0 op 2, blocking op 3.
+        // Op 2 waits only on op 1; op 3 waits on op 2.
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream(1), 1));
+        assert!(!w.push(VStream::DEFAULT, 2));
+        assert!(!w.push(VStream(2), 3), "issued after a default-stream op");
+        // Completing op 1 activates op 2 but not op 3.
+        assert_eq!(w.complete(VStream(1), 1), vec![2]);
+        assert_eq!(w.active(), vec![2]);
+        // Completing op 2 activates op 3.
+        assert_eq!(w.complete(VStream::DEFAULT, 2), vec![3]);
+    }
+
+    #[test]
+    fn later_blocking_work_does_not_block_default() {
+        // Stream-0 op issued first is active even though blocking work was
+        // issued afterwards.
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream::DEFAULT, 1));
+        assert!(!w.push(VStream(1), 2));
+        assert_eq!(w.active(), vec![1]);
+    }
+
+    #[test]
+    fn cross_stream_dependency_gates_activation() {
+        // Branch-join: ops 1 and 2 on parallel streams; op 3 on stream 3
+        // waits for both (cudaStreamWaitEvent-style).
+        let mut w = Waitlist::new();
+        assert!(w.push(VStream(1), 1));
+        assert!(w.push(VStream(2), 2));
+        assert!(
+            !w.push_with_deps(VStream(3), 3, &[1, 2]),
+            "join waits for both"
+        );
+        assert_eq!(w.complete(VStream(1), 1), Vec::<OpToken>::new());
+        assert!(!w.active().contains(&3), "one producer is not enough");
+        assert_eq!(
+            w.complete(VStream(2), 2),
+            vec![3],
+            "last producer unblocks the join"
+        );
+        w.complete(VStream(3), 3);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn dependency_on_already_released_op_is_satisfied() {
+        let mut w = Waitlist::new();
+        w.push(VStream(1), 1);
+        w.complete(VStream(1), 1);
+        assert!(
+            w.push_with_deps(VStream(2), 2, &[1]),
+            "dep already released"
+        );
+    }
+
+    #[test]
+    fn dependency_composes_with_stream_order() {
+        // Op 11 on stream 1 waits for op 20 on stream 2 AND for op 10 ahead
+        // of it on its own stream.
+        let mut w = Waitlist::new();
+        w.push(VStream(1), 10);
+        w.push(VStream(2), 20);
+        assert!(!w.push_with_deps(VStream(1), 11, &[20]));
+        w.complete(VStream(2), 20);
+        assert!(!w.active().contains(&11), "still behind op 10 in-stream");
+        assert_eq!(w.complete(VStream(1), 10), vec![11]);
+    }
+
+    #[test]
+    fn release_reports_only_newly_activated() {
+        let mut w = Waitlist::new();
+        w.push(VStream(1), 1);
+        w.push(VStream(2), 2); // already active
+        w.push(VStream(1), 3);
+        let newly = w.complete(VStream(1), 1);
+        assert_eq!(newly, vec![3], "op 2 was already active, must not repeat");
+    }
+}

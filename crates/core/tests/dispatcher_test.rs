@@ -1,0 +1,542 @@
+//! End-to-end tests of the dispatcher over the simulated GPU.
+
+use paella_channels::ChannelConfig;
+use paella_core::{
+    ClientId, Dispatcher, DispatcherConfig, FifoScheduler, InferenceRequest, JobCompletion,
+    ModelId, SrptDeficitScheduler,
+};
+use paella_gpu::DeviceConfig;
+use paella_models::synthetic;
+use paella_sim::{SimDuration, SimTime};
+
+fn paella(device: DeviceConfig) -> Dispatcher {
+    Dispatcher::new(
+        device,
+        ChannelConfig::default(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        DispatcherConfig::paella(),
+        42,
+    )
+}
+
+fn submit_n(
+    d: &mut Dispatcher,
+    model: ModelId,
+    n: usize,
+    gap: SimDuration,
+    client: u32,
+) -> Vec<SimTime> {
+    let mut at = SimTime::ZERO;
+    let mut times = Vec::new();
+    for _ in 0..n {
+        d.submit(InferenceRequest {
+            client: ClientId(client),
+            model,
+            submitted_at: at,
+        });
+        times.push(at);
+        at += gap;
+    }
+    times
+}
+
+fn run(d: &mut Dispatcher) -> Vec<JobCompletion> {
+    d.run_to_idle();
+    let mut c = d.drain_completions();
+    c.sort_by_key(|x| x.client_visible_at);
+    c
+}
+
+#[test]
+fn single_request_completes_with_small_overhead() {
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 1, SimDuration::ZERO, 0);
+    let done = run(&mut d);
+    assert_eq!(done.len(), 1);
+    let c = &done[0];
+    // 8 dependent kernels × ~300 µs ≈ 2.4 ms device time.
+    assert!(
+        c.breakdown.device >= SimDuration::from_micros(2_200),
+        "device {}",
+        c.breakdown.device
+    );
+    // Overhead must stay far below the device time (the paper's whole point).
+    assert!(
+        c.breakdown.overhead() < SimDuration::from_micros(300),
+        "overhead {} too high",
+        c.breakdown.overhead()
+    );
+    assert!(c.jct() >= c.breakdown.device);
+    assert!(c.almost_finished_at.is_some(), "hybrid wakeup must fire");
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let jct = |seed: u64| {
+        let mut d = Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            DispatcherConfig::paella(),
+            seed,
+        );
+        let model = d.register_model(&synthetic::fig2_job());
+        submit_n(&mut d, model, 20, SimDuration::from_micros(100), 0);
+        run(&mut d)
+            .iter()
+            .map(|c| c.jct().as_nanos())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(jct(7), jct(7), "same seed, same timeline");
+}
+
+#[test]
+fn all_jobs_complete_under_burst() {
+    let mut d = paella(DeviceConfig::gtx_1660_super());
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 64, SimDuration::ZERO, 0);
+    let done = run(&mut d);
+    assert_eq!(done.len(), 64, "no job may be lost");
+    assert_eq!(d.inflight(), 0);
+}
+
+#[test]
+fn paella_beats_job_by_job_on_hol_workload() {
+    // The Fig. 2 situation: 64 single-block-kernel chains flood the 32
+    // hardware queues under job-by-job submission; Paella's occupancy-aware
+    // dispatch interleaves instead.
+    let makespan = |cfg: DispatcherConfig| {
+        let mut d = Dispatcher::new(
+            DeviceConfig::gtx_1660_super(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(500.0))),
+            cfg,
+            1,
+        );
+        let model = d.register_model(&synthetic::fig2_job());
+        submit_n(&mut d, model, 128, SimDuration::ZERO, 0);
+        let done = run(&mut d);
+        assert_eq!(done.len(), 128);
+        done.iter().map(|c| c.client_visible_at).max().unwrap()
+    };
+    let jbj = makespan(DispatcherConfig::paella_ms_jbj());
+    let paella = makespan(DispatcherConfig::paella());
+    // 128 jobs × 8 kernels × 1 block: capacity is 176 concurrent blocks but
+    // job-by-job can only keep ≤32 queues busy → Paella is far faster.
+    assert!(
+        paella.as_nanos() * 3 < jbj.as_nanos() * 2,
+        "paella {paella} vs jbj {jbj}: expected ≥1.5× makespan win"
+    );
+}
+
+#[test]
+fn srpt_prioritizes_short_jobs_under_contention() {
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let long = d.register_model(&synthetic::uniform_job(
+        "long",
+        40,
+        SimDuration::from_micros(200),
+        64,
+    ));
+    let short = d.register_model(&synthetic::uniform_job(
+        "short",
+        8,
+        SimDuration::from_micros(200),
+        64,
+    ));
+    // Saturate with long jobs, then one short job arrives.
+    for i in 0..12 {
+        d.submit(InferenceRequest {
+            client: ClientId(0),
+            model: long,
+            submitted_at: SimTime::from_micros(i),
+        });
+    }
+    d.submit(InferenceRequest {
+        client: ClientId(1),
+        model: short,
+        submitted_at: SimTime::from_micros(50),
+    });
+    let done = run(&mut d);
+    let short_done = done.iter().find(|c| c.request.model == short).unwrap();
+    let longs_done: Vec<&JobCompletion> = done.iter().filter(|c| c.request.model == long).collect();
+    let longs_after = longs_done
+        .iter()
+        .filter(|c| c.client_visible_at > short_done.client_visible_at)
+        .count();
+    assert!(
+        longs_after >= 8,
+        "short job should finish before most longs ({longs_after} after)"
+    );
+}
+
+#[test]
+fn fifo_ablation_completes_in_order() {
+    let mut d = Dispatcher::new(
+        DeviceConfig::tesla_t4(),
+        ChannelConfig::default(),
+        Box::new(FifoScheduler::new()),
+        DispatcherConfig::paella_ss(),
+        3,
+    );
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 10, SimDuration::from_micros(10), 0);
+    let done = run(&mut d);
+    assert_eq!(done.len(), 10);
+    let ids: Vec<u64> = done.iter().map(|c| c.job.0).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "single-stream FIFO completes in order");
+}
+
+#[test]
+fn injected_delay_reduces_throughput() {
+    let throughput = |delay_us: u64| {
+        let mut cfg = DispatcherConfig::paella();
+        cfg.injected_delay = SimDuration::from_micros(delay_us);
+        let mut d = Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            cfg,
+            5,
+        );
+        let model = d.register_model(&synthetic::tiny_model(SimDuration::from_micros(5)));
+        submit_n(&mut d, model, 500, SimDuration::ZERO, 0);
+        let done = run(&mut d);
+        let last = done.iter().map(|c| c.client_visible_at).max().unwrap();
+        500.0 / last.as_secs_f64()
+    };
+    let fast = throughput(0);
+    let slow = throughput(100);
+    assert!(
+        fast > slow * 3.0,
+        "100 µs scheduling delay must crush throughput: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn breakdown_components_sum_to_total() {
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 5, SimDuration::from_millis(5), 0);
+    for c in run(&mut d) {
+        let total = c.jct();
+        let sum = c.breakdown.total();
+        assert_eq!(sum, total, "breakdown must be exhaustive");
+    }
+}
+
+#[test]
+fn online_profiling_converges_toward_observed_runtime() {
+    // Under contention, kernels take longer than the bootstrap profile
+    // assumes; the online refinement must pull the estimate upward.
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::uniform_job(
+        "probe",
+        6,
+        SimDuration::from_micros(200),
+        320, // a full device fill per kernel: concurrent jobs queue waves
+    ));
+    let before = d.profile_estimate(model);
+    for i in 0..40 {
+        d.submit(InferenceRequest {
+            client: ClientId(i % 4),
+            model,
+            submitted_at: SimTime::from_micros(i as u64 * 20),
+        });
+    }
+    let done = run(&mut d);
+    assert_eq!(done.len(), 40);
+    let after = d.profile_estimate(model);
+    assert!(
+        after > before,
+        "contended runs must raise the estimate: {before} -> {after}"
+    );
+}
+
+#[test]
+fn online_profiling_can_be_disabled() {
+    let mut cfg = DispatcherConfig::paella();
+    cfg.online_profiling = false;
+    let mut d = Dispatcher::new(
+        DeviceConfig::tesla_t4(),
+        ChannelConfig::default(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        cfg,
+        42,
+    );
+    let model = d.register_model(&synthetic::uniform_job(
+        "probe",
+        6,
+        SimDuration::from_micros(200),
+        320,
+    ));
+    let before = d.profile_estimate(model);
+    for i in 0..20 {
+        d.submit(InferenceRequest {
+            client: ClientId(0),
+            model,
+            submitted_at: SimTime::from_micros(i as u64 * 20),
+        });
+    }
+    run(&mut d);
+    assert_eq!(
+        d.profile_estimate(model),
+        before,
+        "no refinement when disabled"
+    );
+}
+
+#[test]
+fn notifq_flow_control_throttles_but_loses_nothing() {
+    // A tiny notifQ forces the dispatcher to hold kernels back; everything
+    // must still complete, just later than with a large ring.
+    let makespan = |cap: u64| {
+        let mut cfg = DispatcherConfig::paella();
+        cfg.notifq_capacity = cap;
+        let mut d = Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            cfg,
+            42,
+        );
+        let model = d.register_model(&synthetic::uniform_job(
+            "fc",
+            4,
+            SimDuration::from_micros(100),
+            64,
+        ));
+        for i in 0..32 {
+            d.submit(InferenceRequest {
+                client: ClientId(i % 4),
+                model,
+                submitted_at: SimTime::ZERO,
+            });
+        }
+        let done = run(&mut d);
+        assert_eq!(done.len(), 32, "flow control must not lose jobs");
+        done.iter().map(|c| c.client_visible_at).max().unwrap()
+    };
+    let large = makespan(65_536);
+    let tiny = makespan(256); // two 64-block kernels' worth of reservations
+    assert!(
+        tiny >= large,
+        "a starved notifQ cannot be faster: {tiny} vs {large}"
+    );
+}
+
+#[test]
+fn parallel_schedule_speeds_up_branchy_models() {
+    // An inception-style model with four independent branches: the
+    // multi-stream schedule must beat the sequential lowering on an idle
+    // device, and both must complete correctly.
+    use paella_compiler::{compile, compile_parallel, CostModel, Graph, Op, Shape};
+
+    // Two branches sized so both fit on the device simultaneously
+    // (~100 blocks each vs the ~200-block shmem-limited capacity):
+    // parallel streams let them co-reside instead of running back to back.
+    let mut g = Graph::new();
+    let x = g.input(Shape::chw(256, 14, 14));
+    let mut branches = Vec::new();
+    for k in [3u32, 3] {
+        let c = g
+            .add(
+                Op::Conv2d {
+                    out_channels: 65,
+                    kernel: k,
+                    stride: 1,
+                    pad: k / 2,
+                },
+                &[x],
+            )
+            .unwrap();
+        branches.push(c);
+    }
+    g.add(Op::Concat, &branches).unwrap();
+
+    let run = |model: &paella_compiler::CompiledModel| {
+        let mut d = paella(DeviceConfig::tesla_t4());
+        let id = d.register_model(model);
+        d.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        let done = run(&mut d);
+        assert_eq!(done.len(), 1);
+        done[0].jct()
+    };
+    let cm = CostModel::default();
+    let seq = run(&compile("seq", &g, &cm, 1.0));
+    let par = run(&compile_parallel("par", &g, &cm, 1.0, 4));
+    assert!(
+        par.as_nanos() * 5 < seq.as_nanos() * 4,
+        "co-resident branches should cut JCT ≥20%: seq {seq} vs par {par}"
+    );
+}
+
+#[test]
+fn sharding_the_dispatcher_raises_saturation_throughput() {
+    // §4.2: "it can be parallelized by sharding jobs across threads."
+    // On a CPU-bound workload (tiny jobs, huge offered load), two shards
+    // should lift throughput well above one.
+    let throughput = |cores: u32| {
+        let mut cfg = DispatcherConfig::paella();
+        cfg.dispatcher_cores = cores;
+        let mut d = Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            cfg,
+            42,
+        );
+        let model = d.register_model(&synthetic::tiny_model(SimDuration::from_micros(5)));
+        for i in 0..1_000u32 {
+            d.submit(InferenceRequest {
+                client: ClientId(i % 8),
+                model,
+                submitted_at: SimTime::ZERO,
+            });
+        }
+        let done = run(&mut d);
+        assert_eq!(done.len(), 1_000);
+        let last = done.iter().map(|c| c.client_visible_at).max().unwrap();
+        1_000.0 / last.as_secs_f64()
+    };
+    let one = throughput(1);
+    let two = throughput(2);
+    assert!(
+        two > one * 1.5,
+        "two dispatcher cores should lift CPU-bound throughput ≥1.5x: {one} vs {two}"
+    );
+}
+
+#[test]
+fn survives_notification_loss() {
+    // Fault injection: 25% of notification words never reach the host.
+    // Occupancy reconciliation on runtime-observed completions must keep
+    // the dispatcher live (no wedge, no lost jobs), at degraded efficiency.
+    let mut device = DeviceConfig::tesla_t4();
+    device.notif_drop_rate = 0.25;
+    let mut d = paella(device);
+    let model = d.register_model(&synthetic::uniform_job(
+        "lossy",
+        6,
+        SimDuration::from_micros(150),
+        160,
+    ));
+    for i in 0..200u32 {
+        d.submit(InferenceRequest {
+            client: ClientId(i % 8),
+            model,
+            submitted_at: SimTime::from_micros(u64::from(i) * 100),
+        });
+    }
+    let done = run(&mut d);
+    assert_eq!(
+        done.len(),
+        200,
+        "no job may be lost under notification loss"
+    );
+    assert_eq!(d.inflight(), 0);
+}
+
+#[test]
+fn wakeup_modes_order_client_visibility() {
+    // Polling sees results fastest; the hybrid (with the almost-finished
+    // interrupt pre-arming the poll) matches it; the socket path pays the
+    // syscall wakeup.
+    let visible = |mode: paella_core::WakeupMode| {
+        let mut cfg = DispatcherConfig::paella();
+        cfg.wakeup = mode;
+        let mut d = Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            cfg,
+            42,
+        );
+        let model = d.register_model(&synthetic::tiny_model_pinned(
+            SimDuration::from_micros(80),
+            SimDuration::from_micros(20),
+        ));
+        d.submit(InferenceRequest {
+            client: ClientId(0),
+            model,
+            submitted_at: SimTime::ZERO,
+        });
+        let done = run(&mut d);
+        done[0].client_visible_at
+    };
+    let poll = visible(paella_core::WakeupMode::Polling);
+    let hybrid = visible(paella_core::WakeupMode::Hybrid);
+    let socket = visible(paella_core::WakeupMode::Socket);
+    assert_eq!(poll, hybrid, "pre-armed hybrid matches polling latency");
+    assert!(socket > poll, "socket wakeup pays the syscall path");
+}
+
+#[test]
+fn srpt_prefers_partially_completed_jobs() {
+    // §6: scheduling "based on remaining job execution time" — a job that
+    // has already run most of its kernels outranks an identical fresh job,
+    // so under SRPT the first-arrived job of a same-size pair always
+    // finishes first (no convoy interleaving at the tail).
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::uniform_job(
+        "same",
+        12,
+        SimDuration::from_micros(400),
+        320, // device-filling kernels: jobs contend for every slot
+    ));
+    for i in 0..6u64 {
+        d.submit(InferenceRequest {
+            client: ClientId(0),
+            model,
+            submitted_at: SimTime::from_micros(i * 50),
+        });
+    }
+    let done = run(&mut d);
+    assert_eq!(done.len(), 6);
+    let order: Vec<u64> = done.iter().map(|c| c.job.0).collect();
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        order, sorted,
+        "same-size jobs complete in arrival order under SRPT (remaining time \
+         strictly decreases as kernels finish)"
+    );
+}
+
+#[test]
+fn copy_only_job_completes() {
+    // Degenerate adaptor: set_input + get_output with no kernels (e.g. an
+    // identity model). The waitlist and completion paths must still work.
+    use paella_compiler::{CompiledModel, DeviceOp};
+    let model = CompiledModel {
+        name: "identity".to_string(),
+        ops: vec![
+            DeviceOp::InputCopy { bytes: 1 << 20 },
+            DeviceOp::OutputCopy { bytes: 1 << 20 },
+        ],
+        schedule: None,
+        input_bytes: 1 << 20,
+        output_bytes: 1 << 20,
+        weight_bytes: 0,
+        flops: 0,
+    };
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let id = d.register_model(&model);
+    d.submit(InferenceRequest {
+        client: ClientId(0),
+        model: id,
+        submitted_at: SimTime::ZERO,
+    });
+    let done = run(&mut d);
+    assert_eq!(done.len(), 1);
+    // Two 1 MiB copies at 12 GB/s ≈ 175 µs of device time.
+    assert!(done[0].jct() >= SimDuration::from_micros(170), "jct {}", done[0].jct());
+    assert!(done[0].almost_finished_at.is_some());
+}

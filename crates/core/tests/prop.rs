@@ -1,0 +1,168 @@
+//! Property-based tests for the waitlist, occupancy tracker, and schedulers.
+
+use proptest::prelude::*;
+
+use paella_channels::Notification;
+use paella_core::{
+    ClientId, FifoScheduler, JobId, JobInfo, OccupancyTracker, RrScheduler, Scheduler,
+    SjfScheduler, SrptDeficitScheduler, VStream, Waitlist,
+};
+use paella_gpu::{BlockFootprint, SmLimits};
+use paella_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any set of single-stream jobs, the waitlist activates ops in
+    /// strict issue order, one at a time.
+    #[test]
+    fn waitlist_single_stream_strict_order(n in 1usize..50) {
+        let mut w = Waitlist::new();
+        let s = VStream(1);
+        for t in 0..n as u64 {
+            let active = w.push(s, t);
+            prop_assert_eq!(active, t == 0, "only the first op starts active");
+        }
+        for t in 0..n as u64 {
+            prop_assert_eq!(w.active(), vec![t]);
+            let newly = w.complete(s, t);
+            if t + 1 < n as u64 {
+                prop_assert_eq!(newly, vec![t + 1]);
+            } else {
+                prop_assert!(newly.is_empty());
+            }
+        }
+        prop_assert!(w.is_empty());
+    }
+
+    /// Across many blocking streams, at most one op per stream is active,
+    /// and every op eventually activates exactly once.
+    #[test]
+    fn waitlist_multi_stream_liveness(
+        ops in proptest::collection::vec(0u32..6, 1..80),
+    ) {
+        let mut w = Waitlist::new();
+        let mut pushed: Vec<(VStream, u64)> = Vec::new();
+        for (i, &s) in ops.iter().enumerate() {
+            // Avoid stream 0 (default-stream serialization is tested
+            // separately); streams 1..=6.
+            let vs = VStream(s + 1);
+            w.push(vs, i as u64);
+            pushed.push((vs, i as u64));
+        }
+        // At most one active per stream.
+        let active = w.active();
+        let mut streams_seen = std::collections::HashSet::new();
+        for &t in &active {
+            let (vs, _) = pushed[t as usize];
+            prop_assert!(streams_seen.insert(vs), "two active ops on one stream");
+        }
+        // Drain: repeatedly complete the first active op.
+        let mut completed = 0;
+        while !w.is_empty() {
+            let t = w.active()[0];
+            let (vs, _) = pushed[t as usize];
+            w.complete(vs, t);
+            completed += 1;
+            prop_assert!(completed <= ops.len(), "livelock");
+        }
+        prop_assert_eq!(completed, ops.len());
+    }
+
+    /// The occupancy tracker conserves blocks for arbitrary interleavings of
+    /// kernels and per-SM placements.
+    #[test]
+    fn occupancy_conservation(
+        kernels in proptest::collection::vec((1u32..64, 1u32..=8), 1..20),
+    ) {
+        let mut t = OccupancyTracker::new(40, SmLimits::TURING);
+        let fp = BlockFootprint { threads: 128, regs_per_thread: 9, shmem: 0 };
+        let mut total = 0u64;
+        for (i, &(blocks, _)) in kernels.iter().enumerate() {
+            t.on_launch(i as u32, fp, blocks);
+            total += u64::from(blocks);
+        }
+        prop_assert_eq!(t.unplaced_blocks(), total);
+        // Place and complete everything, 8 blocks per SM round-robin.
+        for (i, &(blocks, per)) in kernels.iter().enumerate() {
+            let mut left = blocks;
+            let mut sm = (i % 40) as u8;
+            while left > 0 {
+                let g = left.min(per.min(8)) as u16;
+                t.on_notification(Notification::placement(sm, i as u32, g));
+                t.on_notification(Notification::completion(sm, i as u32, g));
+                left -= u32::from(g);
+                sm = (sm + 1) % 40;
+            }
+            prop_assert!(t.fully_placed(i as u32));
+        }
+        prop_assert_eq!(t.unplaced_blocks(), 0);
+        prop_assert_eq!(t.resident_blocks(), 0);
+        prop_assert_eq!(t.tracked_kernels(), 0);
+    }
+
+    /// Every scheduler only ever picks jobs that are currently ready, and
+    /// picks none when all are blocked.
+    #[test]
+    fn schedulers_pick_only_ready(
+        jobs in proptest::collection::vec((0u32..4, 1u64..10_000), 1..40),
+        block_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let make: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(SjfScheduler::new()),
+            Box::new(RrScheduler::new()),
+            Box::new(SrptDeficitScheduler::new(Some(10.0))),
+            Box::new(SrptDeficitScheduler::srpt_only()),
+        ];
+        for mut s in make {
+            let mut ready = std::collections::HashSet::new();
+            for (i, &(client, est)) in jobs.iter().enumerate() {
+                s.job_ready(JobInfo {
+                    job: JobId(i as u64),
+                    client: ClientId(client),
+                    arrival: SimTime::from_micros(i as u64),
+                    total_estimate: SimDuration::from_micros(est),
+                    remaining_estimate: SimDuration::from_micros(est),
+                });
+                ready.insert(JobId(i as u64));
+            }
+            for (i, &blocked) in block_mask.iter().enumerate() {
+                if blocked && i < jobs.len() {
+                    s.job_blocked(JobId(i as u64));
+                    ready.remove(&JobId(i as u64));
+                }
+            }
+            prop_assert_eq!(s.ready_len(), ready.len(), "{}", s.name());
+            for _ in 0..5 {
+                match s.pick_next() {
+                    Some(j) => {
+                        prop_assert!(ready.contains(&j), "{} picked blocked job", s.name());
+                        s.on_dispatched(j);
+                    }
+                    None => prop_assert!(ready.is_empty(), "{} starved ready jobs", s.name()),
+                }
+            }
+        }
+    }
+
+    /// SRPT picks the minimum-remaining ready job when fairness is off.
+    #[test]
+    fn srpt_picks_minimum(
+        jobs in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let mut s = SrptDeficitScheduler::srpt_only();
+        for (i, &rem) in jobs.iter().enumerate() {
+            s.job_ready(JobInfo {
+                job: JobId(i as u64),
+                client: ClientId(0),
+                arrival: SimTime::ZERO,
+                total_estimate: SimDuration::from_micros(rem),
+                remaining_estimate: SimDuration::from_micros(rem),
+            });
+        }
+        let picked = s.pick_next().unwrap();
+        let min = jobs.iter().copied().min().unwrap();
+        prop_assert_eq!(jobs[picked.0 as usize], min);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the GPU engine: conservation and limit
+//! invariants under arbitrary workloads.
+
+use proptest::prelude::*;
+
+use paella_channels::NotifKind;
+use paella_gpu::{
+    BlockFootprint, DeviceConfig, DurationModel, GpuOutput, GpuSim, InstrumentationSpec,
+    KernelDesc, KernelLaunch, Microarch, StreamId,
+};
+use paella_sim::{SimDuration, SimTime};
+
+/// An arbitrary (but valid for Turing limits) kernel description.
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        1u32..200,        // grid blocks
+        1u32..=1024,      // threads per block
+        0u32..=48,        // regs per thread (48 × 1024 < 64 K)
+        0u32..=48 * 1024, // shmem per block
+        1u64..2_000,      // duration µs
+        any::<bool>(),    // instrumented
+    )
+        .prop_map(|(blocks, threads, regs, shmem, dur, instr)| KernelDesc {
+            name: "prop".to_string(),
+            grid_blocks: blocks,
+            footprint: BlockFootprint {
+                threads,
+                regs_per_thread: regs,
+                shmem,
+            },
+            duration: DurationModel::jittered(SimDuration::from_micros(dur), 0.1),
+            instrumentation: instr.then(InstrumentationSpec::default),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every launched kernel completes exactly once, the device drains to
+    /// idle, and blocks are conserved, for arbitrary kernels, streams, and
+    /// submission times.
+    #[test]
+    fn conservation_under_arbitrary_load(
+        kernels in proptest::collection::vec((arb_kernel(), 0u32..40, 0u64..10_000), 1..60),
+        seed in any::<u64>(),
+        fermi in any::<bool>(),
+    ) {
+        let cfg = if fermi {
+            DeviceConfig::tiny(8, 1, Microarch::Fermi)
+        } else {
+            DeviceConfig::tesla_t4()
+        };
+        let mut gpu = GpuSim::new(cfg, seed);
+        let mut launches: Vec<(u32, u64)> = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, (_, _, at))| (i as u32 + 1, *at))
+            .collect();
+        launches.sort_by_key(|&(_, at)| at);
+        let mut by_uid: std::collections::HashMap<u32, (KernelDesc, u32)> = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, (k, s, _))| (i as u32 + 1, (k.clone(), *s)))
+            .collect();
+        for (uid, at) in launches {
+            let (desc, stream) = by_uid.remove(&uid).unwrap();
+            gpu.launch_kernel(
+                SimTime::from_micros(at),
+                KernelLaunch { uid, stream: StreamId(stream + 1), desc },
+            );
+        }
+        let mut out = Vec::new();
+        while let Some(t) = gpu.next_time() {
+            gpu.advance_until(t, &mut out);
+        }
+        prop_assert!(gpu.is_idle(), "device must drain");
+        prop_assert_eq!(gpu.resident_blocks(), 0);
+
+        // Exactly one completion per kernel.
+        let mut completed: Vec<u32> = out
+            .iter()
+            .filter_map(|o| match o {
+                GpuOutput::KernelCompleted { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .collect();
+        completed.sort_unstable();
+        let mut expected: Vec<u32> = (1..=kernels.len() as u32).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(completed, expected);
+
+        // Instrumented kernels: placement and completion notifications each
+        // cover every block exactly once.
+        for (i, (k, _, _)) in kernels.iter().enumerate() {
+            if k.instrumentation.is_none() {
+                continue;
+            }
+            let uid = i as u32 + 1;
+            let placed: u32 = out
+                .iter()
+                .filter_map(|o| match o {
+                    GpuOutput::Notif { n, .. }
+                        if n.kernel == uid && n.kind == NotifKind::Placement =>
+                    {
+                        Some(u32::from(n.group))
+                    }
+                    _ => None,
+                })
+                .sum();
+            let finished: u32 = out
+                .iter()
+                .filter_map(|o| match o {
+                    GpuOutput::Notif { n, .. }
+                        if n.kernel == uid && n.kind == NotifKind::Completion =>
+                    {
+                        Some(u32::from(n.group))
+                    }
+                    _ => None,
+                })
+                .sum();
+            prop_assert_eq!(placed, k.grid_blocks, "placement coverage for {}", uid);
+            prop_assert_eq!(finished, k.grid_blocks, "completion coverage for {}", uid);
+        }
+    }
+
+    /// Same-stream kernels complete in issue order (stream semantics), for
+    /// arbitrary kernels.
+    #[test]
+    fn stream_order_preserved(
+        kernels in proptest::collection::vec(arb_kernel(), 2..20),
+        seed in any::<u64>(),
+    ) {
+        let mut gpu = GpuSim::new(DeviceConfig::tesla_t4(), seed);
+        for (i, k) in kernels.iter().enumerate() {
+            gpu.launch_kernel(
+                SimTime::ZERO,
+                KernelLaunch { uid: i as u32 + 1, stream: StreamId(1), desc: k.clone() },
+            );
+        }
+        let mut out = Vec::new();
+        while let Some(t) = gpu.next_time() {
+            gpu.advance_until(t, &mut out);
+        }
+        let completions: Vec<u32> = out
+            .iter()
+            .filter_map(|o| match o {
+                GpuOutput::KernelCompleted { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = completions.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(completions, sorted, "same-stream kernels complete in order");
+    }
+
+    /// SM usage never exceeds the configured limits at any observable point.
+    #[test]
+    fn sm_limits_never_exceeded(
+        kernels in proptest::collection::vec(arb_kernel(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let cfg = DeviceConfig::tesla_t4();
+        let lim = cfg.sm_limits;
+        let num_sms = cfg.num_sms;
+        let mut gpu = GpuSim::new(cfg, seed);
+        for (i, k) in kernels.iter().enumerate() {
+            gpu.launch_kernel(
+                SimTime::ZERO,
+                KernelLaunch { uid: i as u32 + 1, stream: StreamId(i as u32 + 1), desc: k.clone() },
+            );
+        }
+        let mut out = Vec::new();
+        while let Some(t) = gpu.next_time() {
+            gpu.advance_until(t, &mut out);
+            for sm in 0..num_sms {
+                let u = gpu.sm_usage(sm);
+                prop_assert!(u.blocks <= lim.max_blocks);
+                prop_assert!(u.threads <= lim.max_threads);
+                prop_assert!(u.registers <= lim.max_registers);
+                prop_assert!(u.shmem <= lim.max_shmem);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Synthetic models used by the paper's microbenchmarks.
+
+use paella_compiler::{CompiledModel, DeviceOp};
+use paella_gpu::{BlockFootprint, DurationModel, InstrumentationSpec, KernelDesc};
+use paella_sim::SimDuration;
+
+/// The §2.1 / Fig. 2 HoL-blocking job: 8 kernels, each one block of 128
+/// threads, 9 registers, no shared memory, ~300 µs per kernel.
+pub fn fig2_job() -> CompiledModel {
+    let kernel = KernelDesc {
+        name: "fig2_synthetic".to_string(),
+        grid_blocks: 1,
+        footprint: BlockFootprint {
+            threads: 128,
+            regs_per_thread: 9,
+            shmem: 0,
+        },
+        duration: DurationModel::jittered(SimDuration::from_micros(300), 0.02),
+        instrumentation: None,
+    };
+    CompiledModel {
+        name: "fig2-synthetic".to_string(),
+        ops: std::iter::once(DeviceOp::InputCopy { bytes: 256 })
+            .chain((0..8).map(|_| DeviceOp::Kernel(kernel.clone())))
+            .chain(std::iter::once(DeviceOp::OutputCopy { bytes: 256 }))
+            .collect(),
+        schedule: None,
+        input_bytes: 256,
+        output_bytes: 256,
+        weight_bytes: 0,
+        flops: 0,
+    }
+}
+
+/// The Fig. 4 / Fig. 15 empty kernel: `blocks` blocks that only (optionally)
+/// notify. Duration is the bare launch-to-retire floor of a null kernel.
+pub fn empty_kernel(blocks: u32, instrumentation: Option<InstrumentationSpec>) -> KernelDesc {
+    KernelDesc {
+        name: format!("empty_{blocks}b"),
+        grid_blocks: blocks,
+        footprint: BlockFootprint {
+            threads: 32,
+            regs_per_thread: 8,
+            shmem: 0,
+        },
+        duration: DurationModel::jittered(SimDuration::from_micros(2), 0.3),
+        instrumentation,
+    }
+}
+
+/// A single-kernel model wrapping [`empty_kernel`], for the Fig. 14
+/// host-overhead experiment ("a small synthetic model").
+pub fn tiny_model(exec: SimDuration) -> CompiledModel {
+    let kernel = KernelDesc {
+        name: "tiny".to_string(),
+        grid_blocks: 4,
+        footprint: BlockFootprint {
+            threads: 64,
+            regs_per_thread: 12,
+            shmem: 0,
+        },
+        duration: DurationModel::fixed(exec),
+        instrumentation: None,
+    };
+    CompiledModel {
+        name: "tiny-synthetic".to_string(),
+        ops: vec![
+            DeviceOp::InputCopy { bytes: 64 },
+            DeviceOp::Kernel(kernel),
+            DeviceOp::OutputCopy { bytes: 64 },
+        ],
+        schedule: None,
+        input_bytes: 64,
+        output_bytes: 64,
+        weight_bytes: 0,
+        flops: 0,
+    }
+}
+
+/// A two-kernel model with a *pinned output* (no final device→host copy, so
+/// the almost-finished wakeup fires before the last kernel launch, §4.2).
+/// `last` sets the final operator's share of the job — the quantity the
+/// paper says the hybrid client's CPU utilization depends on (Fig. 14).
+pub fn tiny_model_pinned(main: SimDuration, last: SimDuration) -> CompiledModel {
+    let kernel = |name: &str, exec: SimDuration| KernelDesc {
+        name: name.to_string(),
+        grid_blocks: 4,
+        footprint: BlockFootprint {
+            threads: 64,
+            regs_per_thread: 12,
+            shmem: 0,
+        },
+        duration: DurationModel::fixed(exec),
+        instrumentation: None,
+    };
+    CompiledModel {
+        name: "tiny-pinned".to_string(),
+        ops: vec![
+            DeviceOp::InputCopy { bytes: 64 },
+            DeviceOp::Kernel(kernel("main", main)),
+            DeviceOp::Kernel(kernel("last", last)),
+        ],
+        schedule: None,
+        input_bytes: 64,
+        output_bytes: 64,
+        weight_bytes: 0,
+        flops: 0,
+    }
+}
+
+/// A job with `kernels` identical kernels of `per_kernel` duration — used by
+/// the Fig. 13 fairness experiment (long jobs have 5× the kernels of short
+/// ones).
+pub fn uniform_job(
+    name: &str,
+    kernels: u32,
+    per_kernel: SimDuration,
+    blocks: u32,
+) -> CompiledModel {
+    let kernel = KernelDesc {
+        name: format!("{name}_op"),
+        grid_blocks: blocks,
+        footprint: BlockFootprint {
+            threads: 128,
+            regs_per_thread: 16,
+            shmem: 0,
+        },
+        duration: DurationModel::jittered(per_kernel, 0.05),
+        instrumentation: None,
+    };
+    CompiledModel {
+        name: name.to_string(),
+        ops: std::iter::once(DeviceOp::InputCopy { bytes: 1024 })
+            .chain((0..kernels).map(|_| DeviceOp::Kernel(kernel.clone())))
+            .chain(std::iter::once(DeviceOp::OutputCopy { bytes: 1024 }))
+            .collect(),
+        schedule: None,
+        input_bytes: 1024,
+        output_bytes: 1024,
+        weight_bytes: 0,
+        flops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_job_shape() {
+        let j = fig2_job();
+        assert_eq!(j.kernel_count(), 8);
+        for k in j.kernels() {
+            assert_eq!(k.grid_blocks, 1);
+            assert_eq!(k.footprint.threads, 128);
+            assert_eq!(k.footprint.regs_per_thread, 9);
+            assert_eq!(k.footprint.shmem, 0);
+        }
+    }
+
+    #[test]
+    fn empty_kernel_instrumentation_optional() {
+        assert!(empty_kernel(16, None).instrumentation.is_none());
+        let k = empty_kernel(160, Some(InstrumentationSpec::default()));
+        assert_eq!(k.grid_blocks, 160);
+        assert!(k.instrumentation.is_some());
+    }
+
+    #[test]
+    fn uniform_job_kernel_count() {
+        let short = uniform_job("short", 8, SimDuration::from_micros(100), 4);
+        let long = uniform_job("long", 40, SimDuration::from_micros(100), 4);
+        assert_eq!(short.kernel_count() * 5, long.kernel_count());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use paella_sim::dist::Distribution;
+use paella_sim::{EventQueue, LogNormal, Percentiles, SimDuration, SimTime, Xoshiro256pp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// schedule order, and ties resolve by insertion order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut popped = 0;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last_time, "time must not go backwards");
+            if at == last_time {
+                if let Some(&prev) = seen_at_time.last() {
+                    prop_assert!(idx > prev, "ties must pop in insertion order");
+                }
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(idx);
+            }
+            last_time = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn event_queue_cancel_subset(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule_at(SimTime::from_nanos(t), i))
+            .collect();
+        let mut expected = times.len();
+        for (id, &cancel) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if cancel {
+                prop_assert!(q.cancel(*id));
+                expected -= 1;
+            }
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Quantiles of a percentile collector match a naive sorted computation.
+    #[test]
+    fn percentiles_match_naive(xs in proptest::collection::vec(0.0f64..1e6, 1..500)) {
+        let mut p = Percentiles::new();
+        for &x in &xs {
+            p.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(p.quantile(0.0).unwrap(), sorted[0]);
+        prop_assert_eq!(p.quantile(1.0).unwrap(), sorted[sorted.len() - 1]);
+        let med = p.quantile(0.5).unwrap();
+        prop_assert!(med >= sorted[0] && med <= sorted[sorted.len() - 1]);
+    }
+
+    /// Lognormal samples are strictly positive and finite for the σ range
+    /// the paper uses.
+    #[test]
+    fn lognormal_samples_valid(seed in any::<u64>(), sigma in 0.1f64..3.0) {
+        let d = LogNormal::with_mean(1_000.0, sigma);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x > 0.0);
+        }
+    }
+
+    /// Duration arithmetic survives float round-trips without drift beyond
+    /// a nanosecond.
+    #[test]
+    fn duration_roundtrip(us in 0.0f64..1e9) {
+        let d = SimDuration::from_micros_f64(us);
+        let back = d.as_micros_f64();
+        prop_assert!((back - us).abs() <= 0.001, "{us} vs {back}");
+    }
+
+    /// Identical seeds produce identical streams; different seeds differ.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = Xoshiro256pp::seed_from_u64(seed);
+        let mut b = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

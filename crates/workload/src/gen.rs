@@ -1,0 +1,225 @@
+//! Open-loop workload generation.
+//!
+//! The paper's request inter-arrival pattern is lognormal with σ = 2
+//! (bursty) or σ = 1.5 (less bursty) and a mean µ set by the offered load
+//! (§7 Methodology). A workload is a pre-generated list of `(time, model,
+//! client)` arrivals so every system under test sees the identical trace.
+
+use paella_core::{ClientId, ModelId};
+use paella_sim::dist::{Distribution, LogNormal};
+use paella_sim::rng::Xoshiro256pp;
+use paella_sim::{SimDuration, SimTime};
+
+/// One pre-generated request arrival.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Wall-clock submission time.
+    pub at: SimTime,
+    /// Model to run.
+    pub model: ModelId,
+    /// Submitting client.
+    pub client: ClientId,
+}
+
+/// A weighted mix of models.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    entries: Vec<(ModelId, f64)>,
+    total: f64,
+}
+
+impl Mix {
+    /// A uniform mix over `models`.
+    pub fn uniform(models: &[ModelId]) -> Self {
+        Mix::weighted(models.iter().map(|&m| (m, 1.0)).collect())
+    }
+
+    /// A single-model workload.
+    pub fn single(model: ModelId) -> Self {
+        Mix::weighted(vec![(model, 1.0)])
+    }
+
+    /// An arbitrary weighted mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive.
+    pub fn weighted(entries: Vec<(ModelId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empty mix");
+        assert!(
+            entries.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
+        let total = entries.iter().map(|&(_, w)| w).sum();
+        Mix { entries, total }
+    }
+
+    /// Samples one model.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> ModelId {
+        let mut x = rng.next_f64() * self.total;
+        for &(m, w) in &self.entries {
+            if x < w {
+                return m;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// The models in the mix.
+    pub fn models(&self) -> Vec<ModelId> {
+        self.entries.iter().map(|&(m, _)| m).collect()
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Target offered load in requests per second (sets the lognormal mean).
+    pub rate_per_sec: f64,
+    /// Burstiness: the lognormal σ (the paper uses 1.5 and 2.0).
+    pub sigma: f64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct clients, assigned round-robin.
+    pub clients: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A bursty (σ = 2) workload.
+    pub fn bursty(rate_per_sec: f64, requests: usize) -> Self {
+        WorkloadSpec {
+            rate_per_sec,
+            sigma: 2.0,
+            requests,
+            clients: 8,
+            seed: 0xA11CE,
+        }
+    }
+
+    /// A less-bursty (σ = 1.5) workload.
+    pub fn steady(rate_per_sec: f64, requests: usize) -> Self {
+        WorkloadSpec {
+            rate_per_sec,
+            sigma: 1.5,
+            requests,
+            clients: 8,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Generates the arrival trace for `spec` over `mix`.
+///
+/// # Panics
+///
+/// Panics if the rate is non-positive.
+pub fn generate(spec: &WorkloadSpec, mix: &Mix) -> Vec<Arrival> {
+    assert!(spec.rate_per_sec > 0.0, "rate must be positive");
+    let mean_gap_us = 1.0e6 / spec.rate_per_sec;
+    let gap = LogNormal::with_mean(mean_gap_us, spec.sigma);
+    let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(spec.requests);
+    for i in 0..spec.requests {
+        let g = gap.sample(&mut rng);
+        t = t.saturating_add(SimDuration::from_micros_f64(g));
+        out.push(Arrival {
+            at: t,
+            model: mix.sample(&mut rng),
+            client: ClientId(i as u32 % spec.clients.max(1)),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_counted() {
+        let spec = WorkloadSpec::bursty(1_000.0, 500);
+        let arr = generate(&spec, &Mix::single(ModelId(0)));
+        assert_eq!(arr.len(), 500);
+        for w in arr.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_target() {
+        let spec = WorkloadSpec {
+            sigma: 1.5,
+            ..WorkloadSpec::steady(2_000.0, 20_000)
+        };
+        let arr = generate(&spec, &Mix::single(ModelId(0)));
+        let span = arr.last().unwrap().at.as_secs_f64();
+        let rate = arr.len() as f64 / span;
+        assert!(
+            (rate - 2_000.0).abs() / 2_000.0 < 0.1,
+            "rate {rate} should be near 2000 req/s"
+        );
+    }
+
+    #[test]
+    fn bursty_has_higher_dispersion() {
+        let gaps = |sigma: f64| {
+            let spec = WorkloadSpec {
+                sigma,
+                ..WorkloadSpec::bursty(1_000.0, 20_000)
+            };
+            let arr = generate(&spec, &Mix::single(ModelId(0)));
+            let mut gs: Vec<f64> = arr
+                .windows(2)
+                .map(|w| (w[1].at - w[0].at).as_micros_f64())
+                .collect();
+            gs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // p99 / median as a dispersion measure.
+            gs[(gs.len() * 99) / 100] / gs[gs.len() / 2].max(1e-9)
+        };
+        assert!(gaps(2.0) > gaps(1.5) * 1.5, "σ=2 must be burstier");
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let mix = Mix::weighted(vec![(ModelId(0), 3.0), (ModelId(1), 1.0)]);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let n = 40_000;
+        let zeros = (0..n)
+            .filter(|_| mix.sample(&mut rng) == ModelId(0))
+            .count();
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "weight-3:1 split, got {frac}");
+    }
+
+    #[test]
+    fn clients_assigned_round_robin() {
+        let spec = WorkloadSpec {
+            clients: 3,
+            ..WorkloadSpec::bursty(100.0, 9)
+        };
+        let arr = generate(&spec, &Mix::single(ModelId(0)));
+        let ids: Vec<u32> = arr.iter().map(|a| a.client.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = WorkloadSpec::bursty(500.0, 100);
+        let a = generate(&spec, &Mix::single(ModelId(0)));
+        let b = generate(&spec, &Mix::single(ModelId(0)));
+        assert_eq!(
+            a.iter().map(|x| x.at).collect::<Vec<_>>(),
+            b.iter().map(|x| x.at).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        Mix::weighted(vec![(ModelId(0), 0.0)]);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # paella-workload
+//!
+//! Workload generation and the experiment harness:
+//!
+//! * [`gen`] — open-loop lognormal arrival traces (σ ∈ {1.5, 2}, §7) over
+//!   weighted model mixes, pre-generated so every system sees the same
+//!   trace.
+//! * [`runner`] — drives any [`paella_core::ServingSystem`] through a trace
+//!   and reduces completions to throughput / p99 / mean JCT; load sweeps for
+//!   the Fig. 11/12 curves.
+//! * [`breakdown`] — the Fig. 10 latency-breakdown averaging and the Fig. 14
+//!   client CPU-utilization model.
+//! * [`systems`] — a registry constructing every Table 3 system by key.
+
+pub mod breakdown;
+pub mod gen;
+pub mod runner;
+pub mod systems;
+
+pub use breakdown::{average_breakdown, client_utilization, BreakdownUs};
+pub use gen::{generate, Arrival, Mix, WorkloadSpec};
+pub use runner::{load_sweep, run_trace, RunStats, SweepPoint};
+pub use systems::{make_system, SystemKey};

@@ -1,0 +1,229 @@
+//! The experiment runner: drives a [`ServingSystem`] through a pre-generated
+//! arrival trace on virtual time and reduces completions to the metrics the
+//! paper plots (p99 JCT, mean latency, throughput, per-model stats).
+
+use std::collections::HashMap;
+
+use paella_core::{InferenceRequest, JobCompletion, ModelId, ServingSystem};
+use paella_sim::{Percentiles, SimDuration, SimTime};
+
+use crate::gen::Arrival;
+
+/// Reduced metrics from one run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// All completions, in completion order.
+    pub completions: Vec<JobCompletion>,
+    /// Span from first submission to last completion.
+    pub span: SimDuration,
+    /// Completed requests per second over the span.
+    pub throughput: f64,
+    /// JCT percentiles, microseconds.
+    pub jct_us: Percentiles,
+    /// Per-model JCT percentiles.
+    pub per_model_jct_us: HashMap<ModelId, Percentiles>,
+}
+
+impl RunStats {
+    /// The paper's headline tail metric: p99 JCT in microseconds.
+    pub fn p99_us(&mut self) -> f64 {
+        self.jct_us.p99().unwrap_or(f64::NAN)
+    }
+
+    /// Mean JCT in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.jct_us.mean().unwrap_or(f64::NAN)
+    }
+
+    /// p99 JCT for one model, microseconds.
+    pub fn model_p99_us(&mut self, model: ModelId) -> Option<f64> {
+        self.per_model_jct_us.get_mut(&model).and_then(|p| p.p99())
+    }
+
+    /// Mean JCT for one model, microseconds.
+    pub fn model_mean_us(&self, model: ModelId) -> Option<f64> {
+        self.per_model_jct_us.get(&model).and_then(|p| p.mean())
+    }
+}
+
+/// Runs `system` through `arrivals` to completion and reduces the metrics.
+///
+/// The first `warmup` completions are excluded from statistics (the paper
+/// waits "for results to stabilize before gathering measurements").
+pub fn run_trace(system: &mut dyn ServingSystem, arrivals: &[Arrival], warmup: usize) -> RunStats {
+    let mut completions = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        // Let the system catch up to this arrival, then submit.
+        loop {
+            match system.next_event_time() {
+                Some(t) if t <= a.at => system.advance_until(t),
+                _ => break,
+            }
+        }
+        system.submit(InferenceRequest {
+            client: a.client,
+            model: a.model,
+            submitted_at: a.at,
+        });
+        completions.append(&mut system.drain_completions());
+    }
+    system.run_to_idle();
+    completions.append(&mut system.drain_completions());
+    completions.sort_by_key(|c| c.client_visible_at);
+
+    let first_submit = arrivals.first().map(|a| a.at).unwrap_or(SimTime::ZERO);
+    let last_done = completions
+        .last()
+        .map(|c| c.client_visible_at)
+        .unwrap_or(first_submit);
+    let span = last_done.saturating_since(first_submit);
+    let throughput = if span == SimDuration::ZERO {
+        0.0
+    } else {
+        completions.len() as f64 / span.as_secs_f64()
+    };
+
+    let mut jct_us = Percentiles::new();
+    let mut per_model: HashMap<ModelId, Percentiles> = HashMap::new();
+    for c in completions.iter().skip(warmup) {
+        let us = c.jct().as_micros_f64();
+        jct_us.push(us);
+        per_model.entry(c.request.model).or_default().push(us);
+    }
+    RunStats {
+        completions,
+        span,
+        throughput,
+        jct_us,
+        per_model_jct_us: per_model,
+    }
+}
+
+/// One point of a load sweep (a Fig. 11/12 curve sample).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Offered load, req/s.
+    pub offered: f64,
+    /// Achieved throughput, req/s.
+    pub throughput: f64,
+    /// p99 JCT, µs.
+    pub p99_us: f64,
+    /// Mean JCT, µs.
+    pub mean_us: f64,
+}
+
+/// Sweeps offered load over `rates`, building a fresh system per point via
+/// `make_system` (systems keep state; reuse would leak backlog across
+/// points).
+pub fn load_sweep(
+    mut make_system: impl FnMut() -> Box<dyn ServingSystem>,
+    mut make_arrivals: impl FnMut(f64) -> Vec<Arrival>,
+    rates: &[f64],
+    warmup: usize,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let arrivals = make_arrivals(rate);
+        let mut sys = make_system();
+        let mut stats = run_trace(sys.as_mut(), &arrivals, warmup);
+        out.push(SweepPoint {
+            offered: rate,
+            throughput: stats.throughput,
+            p99_us: stats.p99_us(),
+            mean_us: stats.mean_us(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Mix, WorkloadSpec};
+    use paella_channels::ChannelConfig;
+    use paella_core::{Dispatcher, DispatcherConfig, SrptDeficitScheduler};
+    use paella_gpu::DeviceConfig;
+    use paella_models::synthetic;
+
+    fn system() -> Dispatcher {
+        Dispatcher::new(
+            DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            DispatcherConfig::paella(),
+            11,
+        )
+    }
+
+    #[test]
+    fn run_trace_completes_everything() {
+        let mut sys = system();
+        let m = sys.register_model(&synthetic::tiny_model(SimDuration::from_micros(50)));
+        let arrivals = generate(&WorkloadSpec::steady(2_000.0, 300), &Mix::single(m));
+        let mut stats = run_trace(&mut sys, &arrivals, 50);
+        assert_eq!(stats.completions.len(), 300);
+        assert!(stats.throughput > 0.0);
+        assert!(stats.p99_us() >= stats.jct_us.p50().unwrap());
+        assert_eq!(stats.jct_us.count(), 250, "warmup excluded");
+    }
+
+    #[test]
+    fn per_model_stats_partition() {
+        let mut sys = system();
+        let a = sys.register_model(&synthetic::tiny_model(SimDuration::from_micros(50)));
+        let b = sys.register_model(&synthetic::uniform_job(
+            "b",
+            4,
+            SimDuration::from_micros(100),
+            8,
+        ));
+        let arrivals = generate(&WorkloadSpec::steady(1_000.0, 200), &Mix::uniform(&[a, b]));
+        let stats = run_trace(&mut sys, &arrivals, 0);
+        let na = stats
+            .per_model_jct_us
+            .get(&a)
+            .map(|p| p.count())
+            .unwrap_or(0);
+        let nb = stats
+            .per_model_jct_us
+            .get(&b)
+            .map(|p| p.count())
+            .unwrap_or(0);
+        assert_eq!(na + nb, 200);
+        assert!(na > 50 && nb > 50, "roughly uniform split: {na}/{nb}");
+        // The 4-kernel job must be slower on average.
+        assert!(stats.model_mean_us(b).unwrap() > stats.model_mean_us(a).unwrap());
+    }
+
+    #[test]
+    fn load_sweep_latency_grows_with_load() {
+        let rates = [500.0, 8_000.0];
+        let points = load_sweep(
+            || {
+                let mut sys = system();
+                sys.register_model(&synthetic::uniform_job(
+                    "u",
+                    4,
+                    SimDuration::from_micros(200),
+                    176,
+                ));
+                Box::new(sys)
+            },
+            |rate| {
+                generate(
+                    &WorkloadSpec::steady(rate, 400),
+                    &Mix::single(paella_core::ModelId(0)),
+                )
+            },
+            &rates,
+            50,
+        );
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].p99_us > points[0].p99_us,
+            "overload p99 {} must exceed light-load {}",
+            points[1].p99_us,
+            points[0].p99_us
+        );
+    }
+}

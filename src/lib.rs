@@ -1,0 +1,13 @@
+//! Umbrella crate for the Paella (SOSP 23) reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! reach everything through one dependency. See the README for the map.
+
+pub use paella_baselines as baselines;
+pub use paella_channels as channels;
+pub use paella_compiler as compiler;
+pub use paella_core as core;
+pub use paella_gpu as gpu;
+pub use paella_models as models;
+pub use paella_sim as sim;
+pub use paella_workload as workload;
