@@ -17,6 +17,9 @@ use paella_gpu::{
     MemcpyUid, StreamId,
 };
 use paella_sim::{EventQueue, SimDuration, SimTime};
+use paella_telemetry::{
+    HoldReason, HostOpKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceLog, Tracer,
+};
 
 use crate::occupancy::OccupancyTracker;
 use crate::sched::{JobInfo, Scheduler};
@@ -324,7 +327,18 @@ pub struct Dispatcher {
     /// Total dispatcher CPU busy time (for utilization reports).
     cpu_busy: SimDuration,
     now: SimTime,
+    /// Structured telemetry sink for host-side events (no-op by default).
+    tracer: Tracer,
+    /// Metrics registry, allocated only when telemetry is enabled.
+    metrics: Option<Box<MetricsRegistry>>,
+    /// Next virtual-time series sample instant.
+    next_sample: SimTime,
+    /// `(core, start)` of the most recent CPU charge (telemetry span data).
+    last_charge: (u32, SimTime),
 }
+
+/// Virtual-time spacing of periodic metric samples.
+const SAMPLE_INTERVAL: SimDuration = SimDuration::from_micros(50);
 
 impl Dispatcher {
     /// Creates a dispatcher over a fresh device.
@@ -367,7 +381,38 @@ impl Dispatcher {
             notifq_reserved: HashMap::new(),
             cpu_busy: SimDuration::ZERO,
             now: SimTime::ZERO,
+            tracer: Tracer::disabled(),
+            metrics: None,
+            next_sample: SimTime::ZERO,
+            last_charge: (0, SimTime::ZERO),
         }
+    }
+
+    /// Turns on structured telemetry: the dispatcher and its device record
+    /// typed events, and a metrics registry starts counting. Costs nothing
+    /// until called — the default sinks are no-ops.
+    pub fn enable_telemetry(&mut self) {
+        self.tracer = Tracer::enabled();
+        self.gpu.set_tracer(Tracer::enabled());
+        self.metrics = Some(Box::new(MetricsRegistry::new()));
+    }
+
+    /// Whether telemetry is currently recording.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Takes the merged host + device trace recorded so far (empty when
+    /// telemetry is off). Merge order is fixed — dispatcher events sort
+    /// before device events at equal timestamps — so output is
+    /// deterministic.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        TraceLog::merged(vec![self.tracer.take(), self.gpu.take_trace_log()])
+    }
+
+    /// A frozen copy of the metrics registry, if telemetry is enabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
     }
 
     /// Registers a model, applying the instrumentation pass if configured,
@@ -458,6 +503,7 @@ impl Dispatcher {
                 break;
             }
             self.now = next.max(self.now);
+            self.maybe_sample();
             if tg.is_some_and(|a| te.is_none_or(|b| a <= b)) {
                 let mut buf = std::mem::take(&mut self.gpu_out);
                 self.gpu.advance_until(next, &mut buf);
@@ -477,6 +523,42 @@ impl Dispatcher {
         self.now = self.now.max(t);
     }
 
+    /// Emits periodic virtual-time metric samples (and matching counter
+    /// trace events) on a fixed grid, so series are seed-stable.
+    fn maybe_sample(&mut self) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let capacity = u64::from(self.gpu.config().num_sms)
+            * u64::from(self.gpu.config().sm_limits.max_blocks);
+        while self.next_sample <= self.now {
+            let at = self.next_sample;
+            self.next_sample = at + SAMPLE_INTERVAL;
+            let ready = self.scheduler.ready_len() as u64;
+            let inflight = self.jobs.len() as u64;
+            let waiters = self.stream_waiters.len() as u64;
+            let backlog = self.notifq_outstanding;
+            let resident = self.gpu.resident_blocks();
+            let occupancy_pct = resident * 100 / capacity.max(1);
+            let samples: [(&'static str, u64); 6] = [
+                ("ready_jobs", ready),
+                ("inflight_jobs", inflight),
+                ("stream_waiters", waiters),
+                ("notifq_backlog", backlog),
+                ("resident_blocks", resident),
+                ("occupancy_pct", occupancy_pct),
+            ];
+            let m = self.metrics.as_mut().expect("checked above");
+            for (name, value) in samples {
+                m.sample(name, at, value);
+            }
+            for (name, value) in samples {
+                self.tracer
+                    .record_with(at, || TraceEvent::CounterSample { name, value });
+            }
+        }
+    }
+
     /// Runs until fully idle (drains all in-flight work).
     pub fn run_to_idle(&mut self) {
         while let Some(t) = self.next_event_time() {
@@ -494,26 +576,47 @@ impl Dispatcher {
     /// Charges `cost` of CPU work that can start no earlier than `ready`;
     /// returns the completion instant of that work.
     fn charge_cpu(&mut self, client: ClientId, ready: SimTime, cost: SimDuration) -> SimTime {
-        let free = if self.cfg.central_cpu {
+        let (core, free) = if self.cfg.central_cpu {
             // Central mode: jobs shard across dispatcher cores by client.
             let shard = client.0 as usize % self.cpu_free_at.len();
-            &mut self.cpu_free_at[shard]
+            (shard as u32, &mut self.cpu_free_at[shard])
         } else {
-            self.client_cpu_free_at
-                .entry(client)
-                .or_insert(SimTime::ZERO)
+            (
+                client.0,
+                self.client_cpu_free_at
+                    .entry(client)
+                    .or_insert(SimTime::ZERO),
+            )
         };
         let start = ready.max(*free);
         let done = start + cost;
         *free = done;
         self.cpu_busy += cost;
+        self.last_charge = (core, start);
+        done
+    }
+
+    /// Like [`charge_cpu`](Self::charge_cpu), also recording the span as a
+    /// telemetry [`HostOp`](TraceEvent::HostOp) on the charged core's track.
+    fn charge_cpu_traced(
+        &mut self,
+        client: ClientId,
+        ready: SimTime,
+        cost: SimDuration,
+        kind: HostOpKind,
+    ) -> SimTime {
+        let done = self.charge_cpu(client, ready, cost);
+        let (core, start) = self.last_charge;
+        self.tracer
+            .record_with(done, || TraceEvent::HostOp { kind, core, start });
         done
     }
 
     // -- ingest & job construction ------------------------------------------
 
     fn ingest(&mut self, at: SimTime, req: InferenceRequest) {
-        let t_ingested = self.charge_cpu(req.client, at, self.cfg.ingest_cost);
+        let t_ingested =
+            self.charge_cpu_traced(req.client, at, self.cfg.ingest_cost, HostOpKind::Ingest);
         *self.client_inflight.entry(req.client).or_insert(0) += 1;
         let model_idx = req.model.0 as usize;
         assert!(
@@ -523,6 +626,20 @@ impl Dispatcher {
         );
         let id = JobId(self.next_job);
         self.next_job += 1;
+        if self.tracer.is_enabled() {
+            let model = self.models[model_idx].model.name.clone();
+            let (job, client, submitted_at) = (id.0, req.client.0, req.submitted_at);
+            self.tracer
+                .record_with(t_ingested, || TraceEvent::JobBegin {
+                    job,
+                    client,
+                    model,
+                    submitted_at,
+                });
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("jobs_ingested", 1);
+        }
 
         // Build the op list and waitlist; the adaptor's run() issues every
         // CUDA call up front (the coroutine yields at the final sync). Models
@@ -723,7 +840,7 @@ impl Dispatcher {
                         + self.cfg.injected_delay
                         + self.channels.cuda.launch_overhead
                 };
-                let done = self.charge_cpu(client, ready, cost);
+                let done = self.charge_cpu_traced(client, ready, cost, HostOpKind::Sched);
                 let uid = self.next_kernel_uid;
                 self.next_kernel_uid += 1;
                 let desc = {
@@ -731,6 +848,19 @@ impl Dispatcher {
                     let m = &self.models[j.request.model.0 as usize].model;
                     m.kernels().nth(loc).expect("kernel location").clone()
                 };
+                {
+                    let grid_blocks = desc.grid_blocks;
+                    self.tracer
+                        .record_with(done, || TraceEvent::KernelDispatched {
+                            job: id.0,
+                            kernel: u64::from(uid),
+                            stream: stream.0,
+                            grid_blocks,
+                        });
+                }
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("kernels_dispatched", 1);
+                }
                 // The occupancy mirror only works when instrumented kernels
                 // report back; without instrumentation there is nothing to
                 // clean the tracker up, so skip it entirely.
@@ -777,6 +907,8 @@ impl Dispatcher {
         if let Some(j) = self.jobs.get_mut(&id) {
             if j.almost_finished_at.is_none() {
                 j.almost_finished_at = Some(wake);
+                self.tracer
+                    .record_with(wake, || TraceEvent::DoorbellWake { job: id.0 });
             }
         }
     }
@@ -787,7 +919,7 @@ impl Dispatcher {
             return;
         }
         let mut spin_guard = 0u64;
-        while let Some(job) = self.scheduler.pick_next() {
+        while let Some((job, rationale)) = self.scheduler.pick_next_explained() {
             spin_guard += 1;
             debug_assert!(spin_guard < 10_000_000, "try_dispatch spinning on {job:?}");
             let Some(token) = self.jobs.get(&job).and_then(|j| j.next_active()) else {
@@ -806,6 +938,11 @@ impl Dispatcher {
             };
             if !self.jobs[&job].has_streams() {
                 // Waiting for pool streams; skip until they free.
+                self.tracer
+                    .record_with(self.now, || TraceEvent::OccupancyHold {
+                        job: job.0,
+                        reason: HoldReason::StreamPool,
+                    });
                 self.scheduler.job_blocked(job);
                 continue;
             }
@@ -820,14 +957,41 @@ impl Dispatcher {
                     .occupancy
                     .should_dispatch(&fp, self.cfg.lookahead_blocks)
                 {
+                    self.tracer
+                        .record_with(self.now, || TraceEvent::OccupancyHold {
+                            job: job.0,
+                            reason: HoldReason::OccupancyBudget,
+                        });
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("occupancy_holds", 1);
+                    }
                     break;
                 }
                 // notifQ flow control: never reserve past the ring capacity.
                 if self.cfg.instrument
                     && self.notifq_outstanding + 2 * u64::from(blocks) > self.cfg.notifq_capacity
                 {
+                    self.tracer
+                        .record_with(self.now, || TraceEvent::OccupancyHold {
+                            job: job.0,
+                            reason: HoldReason::NotifqBackpressure,
+                        });
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("notifq_holds", 1);
+                    }
                     break;
                 }
+            }
+            if self.tracer.is_enabled() {
+                let policy = self.scheduler.name();
+                let ready = self.scheduler.ready_len() as u32;
+                self.tracer
+                    .record_with(self.now, || TraceEvent::SchedDecision {
+                        job: job.0,
+                        policy,
+                        rationale,
+                        ready,
+                    });
             }
             self.scheduler.on_dispatched(job);
             {
@@ -881,9 +1045,19 @@ impl Dispatcher {
                     .and_then(|&(job, _)| self.jobs.get(&job))
                     .map(|j| j.request.client)
                     .unwrap_or(ClientId(0));
-                let done = self.charge_cpu(owner, at, self.cfg.notif_cost);
+                let done =
+                    self.charge_cpu_traced(owner, at, self.cfg.notif_cost, HostOpKind::Notif);
                 self.now = self.now.max(done);
                 let kuid = n.kernel;
+                self.tracer.record_with(done, || TraceEvent::NotifBatch {
+                    kernel: u64::from(kuid),
+                    sm: u32::from(n.sm_id),
+                    placement: matches!(n.kind, paella_channels::NotifKind::Placement),
+                    blocks: u32::from(n.group),
+                });
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("notifs_processed", 1);
+                }
                 if let Some(r) = self.notifq_reserved.get_mut(&kuid) {
                     if *r > 0 {
                         *r -= 1;
@@ -1044,7 +1218,12 @@ impl Dispatcher {
         }
 
         // Completion path: dispatcher posts the result, client picks it up.
-        let t_posted = self.charge_cpu(j.request.client, device_done, self.cfg.completion_cost);
+        let t_posted = self.charge_cpu_traced(
+            j.request.client,
+            device_done,
+            self.cfg.completion_cost,
+            HostOpKind::Completion,
+        );
         let ring = self.channels.shm.one_way();
         let client_visible = match self.cfg.wakeup {
             WakeupMode::Polling => t_posted + ring,
@@ -1084,6 +1263,21 @@ impl Dispatcher {
         );
         let framework = take(j.framework + self.cfg.completion_cost);
         let queuing = remaining;
+        self.tracer
+            .record_with(client_visible, || TraceEvent::JobEnd {
+                job: id.0,
+                client: j.request.client.0,
+                jct_ns: total.as_nanos(),
+                client_send_recv_ns: client_send_recv.as_nanos(),
+                communication_ns: communication.as_nanos(),
+                queuing_scheduling_ns: queuing.as_nanos(),
+                framework_ns: framework.as_nanos(),
+                device_ns: device.as_nanos(),
+            });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("jobs_completed", 1);
+            m.observe("jct_ns", total.as_nanos());
+        }
         self.completions.push(JobCompletion {
             job: id,
             request: j.request,

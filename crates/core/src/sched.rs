@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use paella_sim::{SimDuration, SimTime};
+pub use paella_telemetry::PickRationale;
 
 use crate::types::{ClientId, JobId};
 
@@ -68,6 +69,21 @@ pub trait Scheduler {
 
     /// Picks the next job to dispatch a kernel for, without removing it.
     fn pick_next(&mut self) -> Option<JobId>;
+
+    /// Like [`pick_next`](Scheduler::pick_next), but also says *why* the job
+    /// won — the rationale recorded on telemetry
+    /// [`SchedDecision`](paella_telemetry::TraceEvent::SchedDecision) events.
+    /// The default maps the policy name to its single rationale; policies
+    /// with more than one pick path (e.g. deficit overrides) override this.
+    fn pick_next_explained(&mut self) -> Option<(JobId, PickRationale)> {
+        let rationale = match self.name() {
+            "fifo" => PickRationale::ArrivalOrder,
+            "sjf" => PickRationale::ShortestTotal,
+            "rr" => PickRationale::RoundRobin,
+            _ => PickRationale::ShortestRemaining,
+        };
+        self.pick_next().map(|job| (job, rationale))
+    }
 
     /// Number of currently ready jobs.
     fn ready_len(&self) -> usize;
@@ -386,14 +402,22 @@ impl Scheduler for SrptDeficitScheduler {
     }
 
     fn pick_next(&mut self) -> Option<JobId> {
+        self.pick_next_explained().map(|(job, _)| job)
+    }
+
+    fn pick_next_explained(&mut self) -> Option<(JobId, PickRationale)> {
         if let Some(client) = self.over_threshold_client() {
             // Oldest ready job of the most-starved client.
             let s = &self.clients[&client];
             if let Some(&(_, job)) = s.ready.first() {
-                return Some(job);
+                return Some((job, PickRationale::DeficitOverride));
             }
         }
-        self.srpt.values().next().copied()
+        self.srpt
+            .values()
+            .next()
+            .copied()
+            .map(|job| (job, PickRationale::ShortestRemaining))
     }
 
     fn ready_len(&self) -> usize {

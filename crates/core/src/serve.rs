@@ -4,6 +4,7 @@
 
 use paella_compiler::CompiledModel;
 use paella_sim::SimTime;
+use paella_telemetry::{MetricsSnapshot, TraceLog};
 
 use crate::dispatcher::Dispatcher;
 use crate::types::{InferenceRequest, JobCompletion, ModelId};
@@ -34,6 +35,21 @@ pub trait ServingSystem {
 
     /// Display name (Table 3's "Key" column).
     fn name(&self) -> String;
+
+    /// Turns on structured telemetry. Systems without instrumentation
+    /// ignore the call and keep returning `None` from the getters below.
+    fn enable_telemetry(&mut self) {}
+
+    /// Takes the trace recorded since the last call, if this system records
+    /// one.
+    fn take_trace_log(&mut self) -> Option<TraceLog> {
+        None
+    }
+
+    /// A frozen copy of the metrics registry, if this system keeps one.
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 impl ServingSystem for Dispatcher {
@@ -59,5 +75,18 @@ impl ServingSystem for Dispatcher {
 
     fn name(&self) -> String {
         format!("dispatcher[{}]", self.scheduler_name())
+    }
+
+    fn enable_telemetry(&mut self) {
+        Dispatcher::enable_telemetry(self)
+    }
+
+    fn take_trace_log(&mut self) -> Option<TraceLog> {
+        self.telemetry_enabled()
+            .then(|| Dispatcher::take_trace_log(self))
+    }
+
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        Dispatcher::metrics_snapshot(self)
     }
 }

@@ -29,7 +29,7 @@ pub struct InferenceRequest {
 }
 
 /// Per-request latency breakdown in the Fig. 10 categories.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
     /// Client-side send + receive path (predict call, result pickup).
     pub client_send_recv: SimDuration,

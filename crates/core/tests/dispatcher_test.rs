@@ -537,6 +537,10 @@ fn copy_only_job_completes() {
     let done = run(&mut d);
     assert_eq!(done.len(), 1);
     // Two 1 MiB copies at 12 GB/s ≈ 175 µs of device time.
-    assert!(done[0].jct() >= SimDuration::from_micros(170), "jct {}", done[0].jct());
+    assert!(
+        done[0].jct() >= SimDuration::from_micros(170),
+        "jct {}",
+        done[0].jct()
+    );
     assert!(done[0].almost_finished_at.is_some());
 }

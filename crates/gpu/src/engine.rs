@@ -28,6 +28,7 @@ use std::collections::{HashMap, VecDeque};
 use paella_channels::{KernelUid, Notification};
 use paella_sim::rng::Xoshiro256pp;
 use paella_sim::{EventQueue, SimDuration, SimTime};
+use paella_telemetry::{TraceEvent, TraceLog, Tracer};
 
 use crate::config::DeviceConfig;
 use crate::kernel::{KernelLaunch, StreamId};
@@ -112,6 +113,7 @@ enum Ev {
     /// block counts, `start` the placement time (for tracing).
     GroupFinish {
         uid: KernelUid,
+        wave: u32,
         start: SimTime,
         allocs: Vec<(u32, u32)>,
     },
@@ -143,6 +145,8 @@ struct KernelState {
     in_queue: bool,
     /// Blocks that have finished.
     finished_blocks: u32,
+    /// Placement waves issued so far (telemetry span key).
+    waves: u32,
 }
 
 struct CopyEngine {
@@ -178,6 +182,8 @@ pub struct GpuSim {
     free_regs: u64,
     free_shmem: u64,
     trace: Option<Vec<TraceEntry>>,
+    /// Structured telemetry sink (no-op unless enabled by the host).
+    tracer: Tracer,
     /// Round-robin cursor over the hardware queues.
     rr_queue: usize,
     /// Copies submitted but not yet at the front of their stream.
@@ -221,6 +227,7 @@ impl GpuSim {
             free_regs: num_sms as u64 * u64::from(lim.max_registers),
             free_shmem: num_sms as u64 * u64::from(lim.max_shmem),
             trace: None,
+            tracer: Tracer::disabled(),
             rr_queue: 0,
             pending_copies: Vec::new(),
             last_arrival: HashMap::new(),
@@ -236,6 +243,17 @@ impl GpuSim {
     /// Takes the recorded trace, leaving recording enabled.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Enables structured telemetry: hardware-queue, per-SM placement, and
+    /// completion events flow into the given sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Takes everything the telemetry sink recorded so far.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        self.tracer.take()
     }
 
     /// The device configuration.
@@ -320,6 +338,7 @@ impl GpuSim {
                 running: 0,
                 in_queue: false,
                 finished_blocks: 0,
+                waves: 0,
             },
         );
         let delay = self.cfg.queue_to_scheduler;
@@ -386,12 +405,23 @@ impl GpuSim {
                     .get_mut(&uid)
                     .expect("arrival for unknown kernel");
                 k.in_queue = true;
-                let q = self.cfg.queue_for_stream(k.launch.stream.0) as usize;
+                let stream = k.launch.stream.0;
+                let q = self.cfg.queue_for_stream(stream) as usize;
                 self.queues[q].push_back(uid);
+                self.tracer.record_with(at, || TraceEvent::KernelQueued {
+                    kernel: u64::from(uid),
+                    stream,
+                    hw_queue: q as u32,
+                });
                 self.schedule_blocks(at);
             }
-            Ev::GroupFinish { uid, start, allocs } => {
-                self.on_group_finish(at, uid, start, &allocs);
+            Ev::GroupFinish {
+                uid,
+                wave,
+                start,
+                allocs,
+            } => {
+                self.on_group_finish(at, uid, wave, start, &allocs);
             }
             Ev::CopyFinish { uid, engine } => {
                 self.on_copy_finish(at, uid, engine);
@@ -411,6 +441,10 @@ impl GpuSim {
             while let Some(&head) = self.queues[qi].front() {
                 if !self.stream_ready(head) {
                     // HoL blocking: an ineligible head stalls this queue.
+                    self.tracer.record_with(now, || TraceEvent::HwQueueStall {
+                        hw_queue: qi as u32,
+                        kernel: u64::from(head),
+                    });
                     break;
                 }
                 self.place_head_blocks(now, head);
@@ -520,10 +554,27 @@ impl GpuSim {
             };
         }
 
-        {
+        let wave = {
             let k = self.kernels.get_mut(&uid).expect("placing unknown kernel");
             k.unplaced -= placed;
             k.running += placed;
+            let wave = k.waves;
+            k.waves += 1;
+            wave
+        };
+
+        if self.tracer.is_enabled() {
+            let name = self.kernels[&uid].launch.desc.name.clone();
+            for &(sm, group) in &allocs {
+                let name = name.clone();
+                self.tracer.record_with(now, || TraceEvent::SmSpanBegin {
+                    kernel: u64::from(uid),
+                    wave,
+                    sm,
+                    blocks: group,
+                    name,
+                });
+            }
         }
 
         // Placement notifications, attributed to the SM each group landed
@@ -540,6 +591,7 @@ impl GpuSim {
             now + dur,
             Ev::GroupFinish {
                 uid,
+                wave,
                 start: now,
                 allocs,
             },
@@ -585,6 +637,7 @@ impl GpuSim {
         &mut self,
         at: SimTime,
         uid: KernelUid,
+        wave: u32,
         start: SimTime,
         allocs: &[(u32, u32)],
     ) {
@@ -617,6 +670,14 @@ impl GpuSim {
                     });
                 }
             }
+        }
+        for &(sm, group) in allocs {
+            self.tracer.record_with(at, || TraceEvent::SmSpanEnd {
+                kernel: u64::from(uid),
+                wave,
+                sm,
+                blocks: group,
+            });
         }
 
         let kernel_done = {
@@ -657,6 +718,9 @@ impl GpuSim {
         if s.pending.is_empty() {
             self.streams.remove(&stream);
         }
+        self.tracer.record_with(at, || TraceEvent::KernelCompleted {
+            kernel: u64::from(uid),
+        });
         self.outputs.push(GpuOutput::KernelCompleted { uid, at });
         // The stream's next op may now start.
         self.try_start_copies(at);

@@ -1,0 +1,5 @@
+//! Mirrors `proptest::prelude`: one-stop import for tests.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError, TestRng,
+};

@@ -257,12 +257,31 @@ impl Histogram {
         self.underflow + self.overflow
     }
 
-    /// Iterates `(bucket_midpoint, count)`.
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bucket_midpoint, count)`, *including* the out-of-range
+    /// edges: the first yielded bucket is the underflow count (centered one
+    /// half-width below `lo`) and the last is the overflow count (one
+    /// half-width above `hi`), so consumers render tails instead of
+    /// silently dropping them.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
+        let hi = self.lo + self.width * self.buckets.len() as f64;
+        std::iter::once((self.lo - 0.5 * self.width, self.underflow))
+            .chain(
+                self.buckets
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c)),
+            )
+            .chain(std::iter::once((hi + 0.5 * self.width, self.overflow)))
     }
 }
 
@@ -406,10 +425,20 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.out_of_range(), 3); // -1.0, 10.0, 55.0
-        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
-        assert_eq!(counts[0], 1);
-        assert_eq!(counts[1], 2);
-        assert_eq!(counts[9], 1);
+        assert_eq!(h.underflow(), 1); // -1.0
+        assert_eq!(h.overflow(), 2); // 10.0, 55.0
+        let entries: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(entries.len(), 12, "10 interior + underflow + overflow");
+        let counts: Vec<u64> = entries.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts[0], 1, "underflow edge bucket");
+        assert_eq!(counts[1], 1, "0.5 in [0,1)");
+        assert_eq!(counts[2], 2, "1.5, 1.6 in [1,2)");
+        assert_eq!(counts[10], 1, "9.9 in [9,10)");
+        assert_eq!(counts[11], 2, "overflow edge bucket");
+        assert_eq!(counts.iter().sum::<u64>(), 7, "iter covers every sample");
+        // Edge midpoints sit one half-width outside the range.
+        assert!((entries[0].0 - (-0.5)).abs() < 1e-12);
+        assert!((entries[11].0 - 10.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The typed trace-event vocabulary.
+//!
+//! Events carry raw ids (`u64` jobs, `u64` kernels, `u32` SMs/streams)
+//! rather than the domain newtypes of `paella-core`/`paella-gpu`, so this
+//! crate sits below both in the dependency graph and either side can record
+//! into the same [`Tracer`](crate::Tracer).
+
+use paella_sim::SimTime;
+
+/// Which host-side CPU charge a [`TraceEvent::HostOp`] span covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostOpKind {
+    /// Pulling one request off the client ring.
+    Ingest,
+    /// One scheduling decision plus launch overhead.
+    Sched,
+    /// Folding one device notification into the occupancy mirror.
+    Notif,
+    /// Posting one completed result back to the client.
+    Completion,
+}
+
+impl HostOpKind {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostOpKind::Ingest => "ingest",
+            HostOpKind::Sched => "sched",
+            HostOpKind::Notif => "notif",
+            HostOpKind::Completion => "completion",
+        }
+    }
+}
+
+/// Why the dispatcher stopped dispatching in this pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HoldReason {
+    /// The occupancy mirror predicts the kernel would not place within the
+    /// lookahead slack (§6's `B`).
+    OccupancyBudget,
+    /// Dispatching would over-commit the device→host notifQ ring.
+    NotifqBackpressure,
+    /// The job is waiting for free pool streams.
+    StreamPool,
+}
+
+impl HoldReason {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HoldReason::OccupancyBudget => "occupancy-budget",
+            HoldReason::NotifqBackpressure => "notifq-backpressure",
+            HoldReason::StreamPool => "stream-pool",
+        }
+    }
+}
+
+/// Why a scheduling policy picked the job it picked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PickRationale {
+    /// Oldest arrival (FIFO).
+    ArrivalOrder,
+    /// Smallest total estimate (SJF).
+    ShortestTotal,
+    /// Smallest remaining estimate (SRPT's common case).
+    ShortestRemaining,
+    /// Round-robin rotation.
+    RoundRobin,
+    /// A client exceeded the fairness threshold; its oldest job overrides
+    /// the SRPT winner.
+    DeficitOverride,
+}
+
+impl PickRationale {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PickRationale::ArrivalOrder => "arrival-order",
+            PickRationale::ShortestTotal => "shortest-total",
+            PickRationale::ShortestRemaining => "shortest-remaining",
+            PickRationale::RoundRobin => "round-robin",
+            PickRationale::DeficitOverride => "deficit-override",
+        }
+    }
+}
+
+/// One virtual-time-stamped observation. The timestamp lives in the
+/// enclosing [`TracedEvent`](crate::TracedEvent); span-shaped events carry
+/// their own `start` so begin/end pairs stay self-describing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// A request was ingested; opens the job's end-to-end span (anchored at
+    /// the client's `submitted_at`, which precedes the ingest timestamp by
+    /// the ring-crossing latency).
+    JobBegin {
+        /// Dispatcher-assigned job id.
+        job: u64,
+        /// Submitting client.
+        client: u32,
+        /// Registered model name.
+        model: String,
+        /// Client-side submission instant.
+        submitted_at: SimTime,
+    },
+    /// The job's result became client-visible; closes the end-to-end span.
+    /// Breakdown components are nanoseconds and sum to the end-to-end JCT.
+    JobEnd {
+        /// Dispatcher-assigned job id.
+        job: u64,
+        /// Submitting client.
+        client: u32,
+        /// End-to-end JCT in nanoseconds.
+        jct_ns: u64,
+        /// Client send/receive channel time.
+        client_send_recv_ns: u64,
+        /// PCIe/launch/notification communication time.
+        communication_ns: u64,
+        /// Queuing + scheduling time.
+        queuing_scheduling_ns: u64,
+        /// Framework (dispatcher CPU) time.
+        framework_ns: u64,
+        /// Device execution time.
+        device_ns: u64,
+    },
+    /// A host CPU charge: `start..` the event timestamp.
+    HostOp {
+        /// What the CPU time paid for.
+        kind: HostOpKind,
+        /// Dispatcher core (shard) the work ran on.
+        core: u32,
+        /// When the work started on that core.
+        start: SimTime,
+    },
+    /// The scheduler chose `job`'s next kernel for dispatch.
+    SchedDecision {
+        /// Chosen job.
+        job: u64,
+        /// Policy name (`Scheduler::name`).
+        policy: &'static str,
+        /// Why this job won the pick.
+        rationale: PickRationale,
+        /// Ready-queue length at decision time.
+        ready: u32,
+    },
+    /// The dispatcher declined to dispatch (flow control).
+    OccupancyHold {
+        /// The job whose kernel was held.
+        job: u64,
+        /// Why it was held.
+        reason: HoldReason,
+    },
+    /// A launch reached its hardware queue on the device.
+    KernelQueued {
+        /// Launch uid.
+        kernel: u64,
+        /// CUDA stream.
+        stream: u32,
+        /// Hardware queue the stream maps to.
+        hw_queue: u32,
+    },
+    /// A hardware queue is head-of-line blocked: its head kernel's stream
+    /// predecessor has not completed, so nothing behind it may place.
+    HwQueueStall {
+        /// The stalled hardware queue.
+        hw_queue: u32,
+        /// The blocked head kernel.
+        kernel: u64,
+    },
+    /// The dispatcher launched a kernel (flow step between the job span and
+    /// its per-SM execution spans).
+    KernelDispatched {
+        /// Owning job.
+        job: u64,
+        /// Launch uid.
+        kernel: u64,
+        /// CUDA stream.
+        stream: u32,
+        /// Grid size in blocks.
+        grid_blocks: u32,
+    },
+    /// A kernel's last block finished on the device.
+    KernelCompleted {
+        /// Launch uid.
+        kernel: u64,
+    },
+    /// A group of blocks was placed on one SM (one allocation of a wave).
+    SmSpanBegin {
+        /// Owning kernel uid.
+        kernel: u64,
+        /// Wave index within the kernel (0-based placement pass).
+        wave: u32,
+        /// The SM the group landed on.
+        sm: u32,
+        /// Blocks in the group.
+        blocks: u32,
+        /// Kernel name, for slice labels.
+        name: String,
+    },
+    /// The matching end of an [`TraceEvent::SmSpanBegin`] group.
+    SmSpanEnd {
+        /// Owning kernel uid.
+        kernel: u64,
+        /// Wave index within the kernel.
+        wave: u32,
+        /// The SM the group ran on.
+        sm: u32,
+        /// Blocks in the group.
+        blocks: u32,
+    },
+    /// The host folded one notifQ word into the occupancy mirror.
+    NotifBatch {
+        /// Kernel the word belongs to.
+        kernel: u64,
+        /// Reporting SM.
+        sm: u32,
+        /// `true` for placement words, `false` for completion words.
+        placement: bool,
+        /// Blocks aggregated into this word.
+        blocks: u32,
+    },
+    /// The almost-finished doorbell fired: the client switches from
+    /// interrupt wait to polling (§4.2).
+    DoorbellWake {
+        /// The nearly-done job.
+        job: u64,
+    },
+    /// A periodic virtual-time counter sample (also rendered as a Chrome
+    /// counter track).
+    CounterSample {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind label (summaries, tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::JobBegin { .. } => "job-begin",
+            TraceEvent::JobEnd { .. } => "job-end",
+            TraceEvent::HostOp { .. } => "host-op",
+            TraceEvent::SchedDecision { .. } => "sched-decision",
+            TraceEvent::OccupancyHold { .. } => "occupancy-hold",
+            TraceEvent::KernelQueued { .. } => "kernel-queued",
+            TraceEvent::HwQueueStall { .. } => "hw-queue-stall",
+            TraceEvent::KernelDispatched { .. } => "kernel-dispatched",
+            TraceEvent::KernelCompleted { .. } => "kernel-completed",
+            TraceEvent::SmSpanBegin { .. } => "sm-span-begin",
+            TraceEvent::SmSpanEnd { .. } => "sm-span-end",
+            TraceEvent::NotifBatch { .. } => "notif-batch",
+            TraceEvent::DoorbellWake { .. } => "doorbell-wake",
+            TraceEvent::CounterSample { .. } => "counter-sample",
+        }
+    }
+}

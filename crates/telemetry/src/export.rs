@@ -1,0 +1,897 @@
+//! Chrome-trace JSON export and the plain-text run summary.
+//!
+//! The exporter renders a [`TraceLog`] in the Chrome trace-event *array*
+//! format (a JSON array of event objects), openable in `chrome://tracing`
+//! or Perfetto:
+//!
+//! * **pid 0 — dispatcher**: per-core host-op slices, scheduler-decision and
+//!   flow-control instants, notification/doorbell instants, per-job async
+//!   spans (submission → client-visible), and counter tracks.
+//! * **pid 1 — gpu**: one track per SM with block-group execution slices
+//!   (overlapping groups fan out into extra lanes), hardware-queue instants.
+//! * **flow arrows** (`s`/`t`/`f`, id = job) connect each job's kernel
+//!   dispatches to their first placement on an SM.
+//!
+//! Determinism: all output is derived from virtual timestamps and stable
+//! sequence numbers; timestamps are formatted with integer arithmetic; all
+//! grouping uses ordered maps. Identical logs produce identical bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use paella_sim::SimTime;
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsSnapshot;
+use crate::tracer::{TraceLog, TracedEvent};
+
+/// A paired per-SM execution span reconstructed from
+/// [`TraceEvent::SmSpanBegin`]/[`TraceEvent::SmSpanEnd`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct SmSpan {
+    /// Owning kernel uid.
+    pub kernel: u64,
+    /// Wave index within the kernel.
+    pub wave: u32,
+    /// The SM the group ran on.
+    pub sm: u32,
+    /// Blocks in the group.
+    pub blocks: u32,
+    /// Kernel name.
+    pub name: String,
+    /// Placement time.
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// Sequence number of the begin event (stable tiebreak).
+    pub seq: u64,
+}
+
+/// Pairs SM begin/end events into spans, ordered by `(start, seq)`.
+///
+/// # Panics
+///
+/// Panics if an end event has no matching begin (a malformed log).
+pub fn sm_spans(log: &TraceLog) -> Vec<SmSpan> {
+    // (kernel, wave, sm) -> (blocks, name, start, seq) of the open span.
+    type OpenSpans = BTreeMap<(u64, u32, u32), (u32, String, SimTime, u64)>;
+    let mut open: OpenSpans = BTreeMap::new();
+    let mut spans = Vec::new();
+    for e in &log.events {
+        match &e.event {
+            TraceEvent::SmSpanBegin {
+                kernel,
+                wave,
+                sm,
+                blocks,
+                name,
+            } => {
+                open.insert((*kernel, *wave, *sm), (*blocks, name.clone(), e.at, e.seq));
+            }
+            TraceEvent::SmSpanEnd {
+                kernel, wave, sm, ..
+            } => {
+                let (blocks, name, start, seq) = open
+                    .remove(&(*kernel, *wave, *sm))
+                    .expect("SmSpanEnd without matching SmSpanBegin");
+                spans.push(SmSpan {
+                    kernel: *kernel,
+                    wave: *wave,
+                    sm: *sm,
+                    blocks,
+                    name,
+                    start,
+                    end: e.at,
+                    seq,
+                });
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by_key(|s| (s.start, s.seq));
+    spans
+}
+
+/// Formats nanoseconds as the microsecond `ts` field, using integer
+/// arithmetic only so output is byte-stable.
+fn ts(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const GPU_PID: u32 = 1;
+/// Lanes reserved per SM track for overlapping groups.
+const SM_LANES: u32 = 16;
+/// tid offset of hardware-queue tracks within the GPU process.
+const HWQ_TID_BASE: u32 = 1_000_000;
+/// Dispatcher-process tids for instant tracks.
+const SCHED_TID: u32 = 90;
+const NOTIF_TID: u32 = 91;
+const DISPATCH_TID: u32 = 92;
+
+/// Renders the log as Chrome-trace JSON (array-of-events form).
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    // Stable global order, independent of how sources were merged.
+    let mut events: Vec<&TracedEvent> = log.events.iter().collect();
+    events.sort_by_key(|e| (e.at, e.seq));
+
+    let spans = sm_spans(log);
+
+    // Greedy interval partitioning per SM: a span takes the first lane
+    // whose previous span ended at or before its start.
+    let mut lane_of: BTreeMap<(u64, u32, u32), u32> = BTreeMap::new();
+    let mut lanes: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
+    for s in &spans {
+        let ends = lanes.entry(s.sm).or_default();
+        let lane = match ends.iter().position(|&e| e <= s.start) {
+            Some(i) => {
+                ends[i] = s.end;
+                i as u32
+            }
+            None => {
+                ends.push(s.end);
+                (ends.len() - 1) as u32
+            }
+        };
+        lane_of.insert((s.kernel, s.wave, s.sm), lane.min(SM_LANES - 1));
+    }
+
+    // Flow anchors per job: every kernel-dispatch slice plus the first SM
+    // placement of each dispatched kernel, in time order.
+    let mut job_of_kernel: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        if let TraceEvent::KernelDispatched { job, kernel, .. } = e.event {
+            job_of_kernel.insert(kernel, job);
+        }
+    }
+    let mut first_span_of_kernel: BTreeMap<u64, &SmSpan> = BTreeMap::new();
+    for s in &spans {
+        first_span_of_kernel.entry(s.kernel).or_insert(s);
+    }
+    // (ts_ns, order, pid, tid) per anchor; order keeps same-instant anchors
+    // stable.
+    let mut anchors: BTreeMap<u64, Vec<(u64, u64, u32, u32)>> = BTreeMap::new();
+    for e in &events {
+        if let TraceEvent::KernelDispatched { job, kernel, .. } = e.event {
+            anchors
+                .entry(job)
+                .or_default()
+                .push((e.at.as_nanos(), e.seq, 0, DISPATCH_TID));
+            if let Some(s) = first_span_of_kernel.get(&kernel) {
+                let tid = lane_of
+                    .get(&(s.kernel, s.wave, s.sm))
+                    .map(|&l| s.sm * SM_LANES + l)
+                    .unwrap_or(s.sm * SM_LANES);
+                anchors
+                    .entry(job)
+                    .or_default()
+                    .push((s.start.as_nanos(), s.seq, GPU_PID, tid));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push(' ');
+        out.push_str(&line);
+    };
+
+    // -- metadata: process and thread names, in fixed order ------------------
+    for (pid, name) in [(0u32, "dispatcher"), (GPU_PID, "gpu")] {
+        push(
+            format!(
+                r#"{{"ph":"M","name":"process_name","pid":{pid},"tid":0,"ts":"0.000","args":{{"name":"{name}"}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    let mut host_cores: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut hw_queues: BTreeMap<u32, ()> = BTreeMap::new();
+    for e in &events {
+        match e.event {
+            TraceEvent::HostOp { core, .. } => {
+                host_cores.insert(core, ());
+            }
+            TraceEvent::KernelQueued { hw_queue, .. }
+            | TraceEvent::HwQueueStall { hw_queue, .. } => {
+                hw_queues.insert(hw_queue, ());
+            }
+            _ => {}
+        }
+    }
+    for &core in host_cores.keys() {
+        push(
+            format!(
+                r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{core},"ts":"0.000","args":{{"name":"core {core}"}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for (tid, name) in [
+        (SCHED_TID, "scheduler"),
+        (NOTIF_TID, "notifications"),
+        (DISPATCH_TID, "kernel dispatch"),
+    ] {
+        push(
+            format!(
+                r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{tid},"ts":"0.000","args":{{"name":"{name}"}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for (&sm, ends) in &lanes {
+        for lane in 0..(ends.len() as u32).min(SM_LANES) {
+            let tid = sm * SM_LANES + lane;
+            let label = if lane == 0 {
+                format!("SM {sm}")
+            } else {
+                format!("SM {sm} (+{lane})")
+            };
+            push(
+                format!(
+                    r#"{{"ph":"M","name":"thread_name","pid":{GPU_PID},"tid":{tid},"ts":"0.000","args":{{"name":"{label}"}}}}"#
+                ),
+                &mut out,
+                &mut first,
+            );
+            push(
+                format!(
+                    r#"{{"ph":"M","name":"thread_sort_index","pid":{GPU_PID},"tid":{tid},"ts":"0.000","args":{{"sort_index":{tid}}}}}"#
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+    for &q in hw_queues.keys() {
+        let tid = HWQ_TID_BASE + q;
+        push(
+            format!(
+                r#"{{"ph":"M","name":"thread_name","pid":{GPU_PID},"tid":{tid},"ts":"0.000","args":{{"name":"hw queue {q}"}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    // -- SM execution slices (complete events) ------------------------------
+    for s in &spans {
+        let lane = lane_of.get(&(s.kernel, s.wave, s.sm)).copied().unwrap_or(0);
+        let tid = s.sm * SM_LANES + lane;
+        let dur_ns = s.end.saturating_since(s.start).as_nanos();
+        push(
+            format!(
+                r#"{{"ph":"X","name":"{} #{} w{} ({}b)","cat":"sm","pid":{GPU_PID},"tid":{tid},"ts":"{}","dur":"{}","args":{{"kernel":{},"wave":{},"blocks":{}}}}}"#,
+                esc(&s.name),
+                s.kernel,
+                s.wave,
+                s.blocks,
+                ts(s.start.as_nanos()),
+                ts(dur_ns),
+                s.kernel,
+                s.wave,
+                s.blocks,
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    // -- everything else, in global time order -------------------------------
+    for e in &events {
+        let at = ts(e.at.as_nanos());
+        match &e.event {
+            TraceEvent::JobBegin {
+                job,
+                client,
+                model,
+                submitted_at,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"b","cat":"job","id":{job},"name":"job {job} ({})","pid":0,"tid":0,"ts":"{}","args":{{"client":{client}}}}}"#,
+                        esc(model),
+                        ts(submitted_at.as_nanos()),
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobEnd {
+                job,
+                client,
+                jct_ns,
+                client_send_recv_ns,
+                communication_ns,
+                queuing_scheduling_ns,
+                framework_ns,
+                device_ns,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"e","cat":"job","id":{job},"name":"job {job}","pid":0,"tid":0,"ts":"{at}","args":{{"client":{client},"jct_ns":{jct_ns},"client_send_recv_ns":{client_send_recv_ns},"communication_ns":{communication_ns},"queuing_scheduling_ns":{queuing_scheduling_ns},"framework_ns":{framework_ns},"device_ns":{device_ns}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::HostOp { kind, core, start } => {
+                let dur = e.at.saturating_since(*start).as_nanos();
+                push(
+                    format!(
+                        r#"{{"ph":"X","name":"{}","cat":"host","pid":0,"tid":{core},"ts":"{}","dur":"{}","args":{{}}}}"#,
+                        kind.as_str(),
+                        ts(start.as_nanos()),
+                        ts(dur),
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::SchedDecision {
+                job,
+                policy,
+                rationale,
+                ready,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"pick job {job}","cat":"sched","s":"t","pid":0,"tid":{SCHED_TID},"ts":"{at}","args":{{"policy":"{policy}","rationale":"{}","ready":{ready}}}}}"#,
+                        rationale.as_str()
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::OccupancyHold { job, reason } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"hold job {job}","cat":"sched","s":"t","pid":0,"tid":{SCHED_TID},"ts":"{at}","args":{{"reason":"{}"}}}}"#,
+                        reason.as_str()
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::KernelQueued {
+                kernel,
+                stream,
+                hw_queue,
+            } => {
+                let tid = HWQ_TID_BASE + hw_queue;
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"enqueue #{kernel}","cat":"hwq","s":"t","pid":{GPU_PID},"tid":{tid},"ts":"{at}","args":{{"stream":{stream}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::HwQueueStall { hw_queue, kernel } => {
+                let tid = HWQ_TID_BASE + hw_queue;
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"HoL stall #{kernel}","cat":"hwq","s":"t","pid":{GPU_PID},"tid":{tid},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::KernelDispatched {
+                job,
+                kernel,
+                stream,
+                grid_blocks,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"dispatch #{kernel} (job {job})","cat":"dispatch","s":"t","pid":0,"tid":{DISPATCH_TID},"ts":"{at}","args":{{"stream":{stream},"grid_blocks":{grid_blocks}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::KernelCompleted { kernel } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"complete #{kernel}","cat":"dispatch","s":"t","pid":0,"tid":{DISPATCH_TID},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::NotifBatch {
+                kernel,
+                sm,
+                placement,
+                blocks,
+            } => {
+                let what = if *placement { "place" } else { "done" };
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"notif {what} #{kernel}","cat":"notif","s":"t","pid":0,"tid":{NOTIF_TID},"ts":"{at}","args":{{"sm":{sm},"blocks":{blocks}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::DoorbellWake { job } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"doorbell job {job}","cat":"notif","s":"t","pid":0,"tid":{NOTIF_TID},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::CounterSample { name, value } => {
+                push(
+                    format!(
+                        r#"{{"ph":"C","name":"{name}","pid":0,"tid":0,"ts":"{at}","args":{{"{name}":{value}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::SmSpanBegin { .. } | TraceEvent::SmSpanEnd { .. } => {
+                // Rendered above as paired "X" slices.
+            }
+        }
+    }
+
+    // -- per-job flow arrows -------------------------------------------------
+    for (&job, list) in &anchors {
+        if list.len() < 2 {
+            continue;
+        }
+        let mut list = list.clone();
+        list.sort();
+        let last = list.len() - 1;
+        for (i, &(t, _, pid, tid)) in list.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            let bp = if ph == "f" { r#","bp":"e""# } else { "" };
+            push(
+                format!(
+                    r#"{{"ph":"{ph}","name":"job {job}","cat":"flow","id":{job},"pid":{pid},"tid":{tid},"ts":"{}"{bp}}}"#,
+                    ts(t)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON scanner used by [`validate_chrome_trace`].
+struct Scan<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(s: &'a str) -> Self {
+        Scan {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        let found = self.peek();
+        if found == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                found.map(|b| b as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'u') => {
+                            self.pos += 5; // \uXXXX
+                            out.push('?');
+                        }
+                        Some(&c) => {
+                            self.pos += 1;
+                            out.push(c as char);
+                        }
+                        None => return Err("dangling escape".into()),
+                    }
+                }
+                Some(&c) => {
+                    self.pos += 1;
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    /// Parses any value, returning the set of top-level keys when it is an
+    /// object (nested contents are validated but not returned).
+    fn value(&mut self) -> Result<Option<Vec<String>>, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut keys = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.eat(b'}')?;
+                    return Ok(Some(keys));
+                }
+                loop {
+                    keys.push(self.string()?);
+                    self.eat(b':')?;
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        Some(b'}') => {
+                            self.eat(b'}')?;
+                            return Ok(Some(keys));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    self.eat(b']')?;
+                    return Ok(None);
+                }
+                loop {
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        Some(b']') => {
+                            self.eat(b']')?;
+                            return Ok(None);
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(None)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                Ok(None)
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(u8::is_ascii_alphabetic)
+                {
+                    self.pos += 1;
+                }
+                Ok(None)
+            }
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+}
+
+/// Validates that `json` is a Chrome-trace array of event objects, each with
+/// `ph`, `pid`, `tid`, and `ts` fields. Returns the event count.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let mut s = Scan::new(json);
+    s.eat(b'[')?;
+    let mut count = 0usize;
+    if s.peek() == Some(b']') {
+        s.eat(b']')?;
+        return Ok(0);
+    }
+    loop {
+        let keys = s
+            .value()?
+            .ok_or_else(|| format!("trace element {count} is not an object"))?;
+        for required in ["ph", "pid", "tid", "ts"] {
+            if !keys.iter().any(|k| k == required) {
+                return Err(format!("trace element {count} missing key {required:?}"));
+            }
+        }
+        count += 1;
+        match s.peek() {
+            Some(b',') => s.eat(b',')?,
+            Some(b']') => {
+                s.eat(b']')?;
+                break;
+            }
+            _ => return Err("bad trace array".into()),
+        }
+    }
+    s.skip_ws();
+    if s.pos != s.bytes.len() {
+        return Err("trailing bytes after trace array".into());
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Text summary
+// ---------------------------------------------------------------------------
+
+/// Renders a human-readable run summary: event counts, the busiest SMs, and
+/// (when provided) the metrics snapshot.
+pub fn text_summary(log: &TraceLog, metrics: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut t_min = SimTime::MAX;
+    let mut t_max = SimTime::ZERO;
+    for e in &log.events {
+        *kinds.entry(e.event.kind()).or_insert(0) += 1;
+        t_min = t_min.min(e.at);
+        t_max = t_max.max(e.at);
+    }
+    let _ = writeln!(out, "trace: {} events", log.len());
+    if !log.is_empty() {
+        let _ = writeln!(
+            out,
+            "span: {:.3} us .. {:.3} us",
+            t_min.as_micros_f64(),
+            t_max.as_micros_f64()
+        );
+    }
+    for (kind, n) in &kinds {
+        let _ = writeln!(out, "  {kind:<20} {n}");
+    }
+
+    let spans = sm_spans(log);
+    if !spans.is_empty() {
+        let mut busy: BTreeMap<u32, u64> = BTreeMap::new();
+        for s in &spans {
+            *busy.entry(s.sm).or_insert(0) += s.end.saturating_since(s.start).as_nanos();
+        }
+        let span_ns = t_max.saturating_since(t_min).as_nanos().max(1);
+        let _ = writeln!(out, "per-SM busy time ({} spans):", spans.len());
+        for (sm, ns) in &busy {
+            let _ = writeln!(
+                out,
+                "  SM {sm:<3} {:>10.1} us  ({:>5.1}%)",
+                *ns as f64 / 1_000.0,
+                100.0 * *ns as f64 / span_ns as f64
+            );
+        }
+    }
+
+    if let Some(m) = metrics {
+        let _ = writeln!(out, "counters:");
+        for (k, v) in &m.counters {
+            let _ = writeln!(out, "  {k:<28} {v}");
+        }
+        if !m.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &m.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<28} n={} mean={:.1} min={} p50<={} p99<={} max={}",
+                    h.count, h.mean, h.min, h.p50_bound, h.p99_bound, h.max
+                );
+            }
+        }
+        if !m.series.is_empty() {
+            let _ = writeln!(out, "series:");
+            for (k, v) in &m.series {
+                let peak = v.iter().map(|&(_, x)| x).max().unwrap_or(0);
+                let _ = writeln!(out, "  {k:<28} {} samples, peak {}", v.len(), peak);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{HoldReason, HostOpKind, PickRationale};
+    use crate::tracer::Tracer;
+
+    fn sample_log() -> TraceLog {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(1), || TraceEvent::JobBegin {
+            job: 1,
+            client: 0,
+            model: "m".into(),
+            submitted_at: SimTime::ZERO,
+        });
+        t.record_with(SimTime::from_micros(2), || TraceEvent::HostOp {
+            kind: HostOpKind::Ingest,
+            core: 0,
+            start: SimTime::from_micros(1),
+        });
+        t.record_with(SimTime::from_micros(3), || TraceEvent::SchedDecision {
+            job: 1,
+            policy: "srpt",
+            rationale: PickRationale::ShortestRemaining,
+            ready: 1,
+        });
+        t.record_with(SimTime::from_micros(3), || TraceEvent::KernelDispatched {
+            job: 1,
+            kernel: 7,
+            stream: 1,
+            grid_blocks: 2,
+        });
+        t.record_with(SimTime::from_micros(4), || TraceEvent::SmSpanBegin {
+            kernel: 7,
+            wave: 0,
+            sm: 3,
+            blocks: 2,
+            name: "k\"x".into(),
+        });
+        t.record_with(SimTime::from_micros(5), || TraceEvent::OccupancyHold {
+            job: 2,
+            reason: HoldReason::OccupancyBudget,
+        });
+        t.record_with(SimTime::from_micros(9), || TraceEvent::SmSpanEnd {
+            kernel: 7,
+            wave: 0,
+            sm: 3,
+            blocks: 2,
+        });
+        t.record_with(SimTime::from_micros(10), || TraceEvent::JobEnd {
+            job: 1,
+            client: 0,
+            jct_ns: 10_000,
+            client_send_recv_ns: 1_000,
+            communication_ns: 1_000,
+            queuing_scheduling_ns: 2_000,
+            framework_ns: 1_000,
+            device_ns: 5_000,
+        });
+        t.take()
+    }
+
+    #[test]
+    fn export_is_valid_and_deterministic() {
+        let log = sample_log();
+        let a = chrome_trace_json(&log);
+        let b = chrome_trace_json(&log);
+        assert_eq!(a, b);
+        let n = validate_chrome_trace(&a).expect("valid trace");
+        assert!(n > 8, "metadata + events expected, got {n}");
+        assert!(a.contains(r#""name":"SM 3""#));
+        assert!(a.contains(r#""ph":"X""#));
+        assert!(a.contains(r#"\"x"#), "kernel name must be escaped");
+    }
+
+    #[test]
+    fn sm_spans_pair_up() {
+        let spans = sm_spans(&sample_log());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].sm, 3);
+        assert_eq!(
+            spans[0].end.saturating_since(spans[0].start),
+            paella_sim::SimDuration::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn overlapping_spans_get_distinct_lanes() {
+        let mut t = Tracer::enabled();
+        for k in 0..2u64 {
+            t.record_with(SimTime::from_micros(1), || TraceEvent::SmSpanBegin {
+                kernel: k,
+                wave: 0,
+                sm: 0,
+                blocks: 1,
+                name: "k".into(),
+            });
+        }
+        for k in 0..2u64 {
+            t.record_with(SimTime::from_micros(5), || TraceEvent::SmSpanEnd {
+                kernel: k,
+                wave: 0,
+                sm: 0,
+                blocks: 1,
+            });
+        }
+        let json = chrome_trace_json(&t.take());
+        assert!(json.contains(r#""name":"SM 0""#));
+        assert!(json.contains(r#""name":"SM 0 (+1)""#), "second lane used");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("[1,2]").is_err());
+        assert!(validate_chrome_trace(r#"[{"ph":"X"}]"#).is_err());
+        assert_eq!(validate_chrome_trace("[]"), Ok(0));
+        assert_eq!(
+            validate_chrome_trace(
+                r#"[{"ph":"X","pid":0,"tid":1,"ts":"0.000","args":{"a":[1,true,null]}}]"#
+            ),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn ts_formats_with_integer_math() {
+        assert_eq!(ts(0), "0.000");
+        assert_eq!(ts(1_234), "1.234");
+        assert_eq!(ts(1_000_007), "1000.007");
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let s = text_summary(&sample_log(), None);
+        assert!(s.contains("job-begin"));
+        assert!(s.contains("SM 3"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Deterministic virtual-time observability for the Paella reproduction.
+//!
+//! Everything in this crate is stamped with [`paella_sim::SimTime`] — never
+//! wall clock — so traces and metrics are byte-for-byte reproducible across
+//! runs with the same seed.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{HoldReason, HostOpKind, PickRationale, TraceEvent};
+pub use export::{chrome_trace_json, text_summary, validate_chrome_trace};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use tracer::{TraceLog, TracedEvent, Tracer};

@@ -1,0 +1,294 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms, and
+//! periodic virtual-time series.
+//!
+//! All maps are `BTreeMap`s keyed on `&'static str` so iteration order — and
+//! therefore every exported rendering — is deterministic.
+
+use std::collections::BTreeMap;
+
+use paella_sim::SimTime;
+
+/// A power-of-two-bucketed histogram over `u64` values (typically
+/// nanoseconds). Bucket `i` counts values whose bit length is `i`, i.e.
+/// `[2^(i-1), 2^i)` for `i ≥ 1` and the single value `0` for bucket 0 —
+/// 65 buckets cover the full domain, so no sample is ever out of range.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: u64) {
+        self.buckets[(64 - x.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum += u128::from(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0 ≤ q ≤ 1`) —
+    /// a factor-of-two estimate, which is what log buckets buy.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i == 0 { 0 } else { (1u128 << i) as u64 });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(bucket_upper_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { (1u128 << i) as u64 }, c))
+    }
+}
+
+/// A registry of named metrics, all updated on virtual time.
+#[derive(Clone, Default, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+    series: BTreeMap<&'static str, Vec<(SimTime, u64)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a monotonic counter.
+    pub fn inc(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets a gauge to its current value.
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Adds one observation to a log-bucketed histogram.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().push(value);
+    }
+
+    /// Appends one `(t, value)` sample to a virtual-time series.
+    pub fn sample(&mut self, name: &'static str, at: SimTime, value: u64) {
+        self.series.entry(name).or_default().push((at, value));
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Series by name, if any sample was recorded.
+    pub fn series(&self, name: &str) -> Option<&[(SimTime, u64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Freezes the registry into a plain snapshot for reports.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| {
+                    (
+                        k.to_string(),
+                        HistogramSummary {
+                            count: h.count(),
+                            mean: h.mean(),
+                            min: h.min().unwrap_or(0),
+                            max: h.max().unwrap_or(0),
+                            p50_bound: h.quantile_bound(0.50).unwrap_or(0),
+                            p99_bound: h.quantile_bound(0.99).unwrap_or(0),
+                        },
+                    )
+                })
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Reduced view of one histogram.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Factor-of-two upper bound on the median.
+    pub p50_bound: u64,
+    /// Factor-of-two upper bound on the 99th percentile.
+    pub p99_bound: u64,
+}
+
+/// A frozen, ordered copy of a [`MetricsRegistry`] for `RunStats` and
+/// reports.
+#[derive(Clone, Default, Debug)]
+pub struct MetricsSnapshot {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Time series, name-sorted.
+    pub series: Vec<(String, Vec<(SimTime, u64)>)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Series by name.
+    pub fn series(&self, name: &str) -> Option<&[(SimTime, u64)]> {
+        self.series
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        let mut h = LogHistogram::new();
+        for x in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        // 0 → bucket 0; 1 → (0,1]; 2,3 → (1,4); 4 → 8-bound; 1000 → 1024.
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(2, 1)));
+        assert!(buckets.contains(&(4, 2)));
+        assert!(buckets.contains(&(1024, 1)));
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 7, "no sample may fall outside the buckets");
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone() {
+        let mut h = LogHistogram::new();
+        for x in 1..=1000u64 {
+            h.push(x);
+        }
+        let p50 = h.quantile_bound(0.5).unwrap();
+        let p99 = h.quantile_bound(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!((512..=1024).contains(&p50), "p50 bound {p50}");
+        assert_eq!(LogHistogram::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("jobs", 2);
+        m.inc("jobs", 3);
+        m.gauge("depth", 7);
+        m.observe("jct_ns", 1500);
+        m.sample("ready", SimTime::from_micros(1), 4);
+        m.sample("ready", SimTime::from_micros(2), 6);
+        assert_eq!(m.counter("jobs"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("jobs"), 5);
+        assert_eq!(snap.series("ready").unwrap().len(), 2);
+        assert_eq!(snap.histograms[0].0, "jct_ns");
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+}

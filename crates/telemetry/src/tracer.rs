@@ -1,0 +1,172 @@
+//! The event sink: a [`Tracer`] that costs one branch when disabled.
+
+use paella_sim::SimTime;
+
+use crate::event::TraceEvent;
+
+/// One recorded event with its virtual timestamp and intra-source sequence
+/// number (the determinism tiebreak for same-instant events).
+#[derive(Clone, PartialEq, Debug)]
+pub struct TracedEvent {
+    /// Virtual time of the observation.
+    pub at: SimTime,
+    /// Recording order within the source tracer.
+    pub seq: u64,
+    /// The observation.
+    pub event: TraceEvent,
+}
+
+/// An ordered batch of recorded events.
+#[derive(Clone, Default, Debug)]
+pub struct TraceLog {
+    /// Events in `(at, source, seq)` order.
+    pub events: Vec<TracedEvent>,
+}
+
+impl TraceLog {
+    /// Merges per-component logs into one deterministic timeline. Events are
+    /// ordered by timestamp; ties break first on the position of the source
+    /// log in `sources` (callers must pass sources in a fixed order), then
+    /// on recording order within the source.
+    pub fn merged(sources: Vec<TraceLog>) -> TraceLog {
+        let mut tagged: Vec<(SimTime, usize, u64, TracedEvent)> = Vec::new();
+        for (src, log) in sources.into_iter().enumerate() {
+            for e in log.events {
+                tagged.push((e.at, src, e.seq, e));
+            }
+        }
+        tagged.sort_by_key(|t| (t.0, t.1, t.2));
+        let events = tagged
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, _, mut e))| {
+                e.seq = i as u64;
+                e
+            })
+            .collect();
+        TraceLog { events }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[derive(Default, Debug)]
+struct Inner {
+    events: Vec<TracedEvent>,
+    next_seq: u64,
+}
+
+/// A typed, virtual-time event sink.
+///
+/// Disabled (the default), [`record_with`](Tracer::record_with) is a single
+/// `Option` check and the event-constructing closure never runs — hot paths
+/// pay nothing for instrumentation they don't use.
+#[derive(Default, Debug)]
+pub struct Tracer(Option<Box<Inner>>);
+
+impl Tracer {
+    /// A sink that drops everything (the default).
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// A sink that records.
+    pub fn enabled() -> Self {
+        Tracer(Some(Box::default()))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records the event built by `f` at virtual time `at`. When disabled,
+    /// `f` is never called.
+    #[inline]
+    pub fn record_with(&mut self, at: SimTime, f: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = self.0.as_mut() {
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.events.push(TracedEvent {
+                at,
+                seq,
+                event: f(),
+            });
+        }
+    }
+
+    /// Takes everything recorded so far, leaving the tracer enabled (or a
+    /// no-op if it never was).
+    pub fn take(&mut self) -> TraceLog {
+        match self.0.as_mut() {
+            Some(inner) => TraceLog {
+                events: std::mem::take(&mut inner.events),
+            },
+            None => TraceLog::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_runs_closure() {
+        let mut t = Tracer::disabled();
+        t.record_with(SimTime::ZERO, || panic!("must not be constructed"));
+        assert!(!t.is_enabled());
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_in_order() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(2), || TraceEvent::KernelCompleted {
+            kernel: 1,
+        });
+        t.record_with(SimTime::from_micros(1), || TraceEvent::KernelCompleted {
+            kernel: 2,
+        });
+        let log = t.take();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events[0].seq, 0);
+        assert_eq!(log.events[1].seq, 1);
+        assert!(t.is_enabled(), "take leaves recording on");
+    }
+
+    #[test]
+    fn merged_orders_by_time_then_source() {
+        let mut a = Tracer::enabled();
+        let mut b = Tracer::enabled();
+        a.record_with(SimTime::from_micros(5), || TraceEvent::KernelCompleted {
+            kernel: 10,
+        });
+        b.record_with(SimTime::from_micros(5), || TraceEvent::KernelCompleted {
+            kernel: 20,
+        });
+        b.record_with(SimTime::from_micros(1), || TraceEvent::KernelCompleted {
+            kernel: 21,
+        });
+        let log = TraceLog::merged(vec![a.take(), b.take()]);
+        let kernels: Vec<u64> = log
+            .events
+            .iter()
+            .map(|e| match e.event {
+                TraceEvent::KernelCompleted { kernel } => kernel,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kernels, vec![21, 10, 20], "time first, then source order");
+        let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "merged log is re-sequenced");
+    }
+}

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use paella_core::{InferenceRequest, JobCompletion, ModelId, ServingSystem};
 use paella_sim::{Percentiles, SimDuration, SimTime};
+use paella_telemetry::{MetricsSnapshot, TraceLog};
 
 use crate::gen::Arrival;
 
@@ -22,6 +23,10 @@ pub struct RunStats {
     pub jct_us: Percentiles,
     /// Per-model JCT percentiles.
     pub per_model_jct_us: HashMap<ModelId, Percentiles>,
+    /// The run's structured trace, when the system had telemetry enabled.
+    pub trace: Option<TraceLog>,
+    /// The run's metrics snapshot, when the system had telemetry enabled.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunStats {
@@ -96,6 +101,8 @@ pub fn run_trace(system: &mut dyn ServingSystem, arrivals: &[Arrival], warmup: u
         throughput,
         jct_us,
         per_model_jct_us: per_model,
+        trace: system.take_trace_log(),
+        metrics: system.metrics_snapshot(),
     }
 }
 

@@ -1,0 +1,186 @@
+//! Cross-crate telemetry integration tests: trace integrity, determinism of
+//! the Chrome-trace export, and the pay-for-use guarantee when telemetry is
+//! disabled.
+
+use paella_core::{
+    Dispatcher, DispatcherConfig, LatencyBreakdown, ServingSystem, SrptDeficitScheduler,
+};
+use paella_gpu::DeviceConfig;
+use paella_models::synthetic;
+use paella_sim::SimDuration;
+use paella_telemetry::{
+    chrome_trace_json, export::sm_spans, validate_chrome_trace, TraceEvent, TraceLog,
+};
+use paella_workload::{generate, run_trace, Mix, RunStats, WorkloadSpec};
+
+fn dispatcher(seed: u64) -> Dispatcher {
+    Dispatcher::new(
+        DeviceConfig::tesla_t4(),
+        paella_channels::ChannelConfig::default(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        DispatcherConfig::paella(),
+        seed,
+    )
+}
+
+/// A small contended two-model workload, long enough to exercise queuing.
+fn run(seed: u64, telemetry: bool) -> RunStats {
+    let mut sys = dispatcher(seed);
+    if telemetry {
+        sys.enable_telemetry();
+    }
+    let a = ServingSystem::register_model(&mut sys, &synthetic::fig2_job());
+    let b = ServingSystem::register_model(
+        &mut sys,
+        &synthetic::uniform_job("small", 2, SimDuration::from_micros(40), 4),
+    );
+    let spec = WorkloadSpec {
+        clients: 8,
+        ..WorkloadSpec::steady(8_000.0, 80)
+    };
+    let arrivals = generate(&spec, &Mix::uniform(&[a, b]));
+    run_trace(&mut sys, &arrivals, 0)
+}
+
+fn trace_of(stats: &RunStats) -> &TraceLog {
+    stats.trace.as_ref().expect("telemetry enabled")
+}
+
+#[test]
+fn trace_spans_pair_and_time_is_monotone() {
+    let stats = run(7, true);
+    let log = trace_of(&stats);
+    assert!(!log.is_empty());
+
+    // The merged log is globally ordered on virtual time.
+    for w in log.events.windows(2) {
+        assert!(w[0].at <= w[1].at, "merged log out of order");
+        assert!(w[0].seq < w[1].seq, "merged log not re-sequenced");
+    }
+
+    // Every SM span begin has exactly one matching end, at or after it
+    // (sm_spans panics on an end without a begin).
+    let spans = sm_spans(log);
+    let begins = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::SmSpanBegin { .. }))
+        .count();
+    let ends = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::SmSpanEnd { .. }))
+        .count();
+    assert_eq!(begins, ends, "unbalanced SM span events");
+    assert_eq!(spans.len(), begins, "every begin paired");
+    for s in &spans {
+        assert!(s.end >= s.start, "span ends before it starts");
+        assert!(s.blocks > 0);
+    }
+
+    // Per SM, span starts arrive in nondecreasing virtual time.
+    let mut last_start_per_sm = std::collections::HashMap::new();
+    for s in &spans {
+        let prev = last_start_per_sm.entry(s.sm).or_insert(s.start);
+        assert!(s.start >= *prev, "SM {} span starts regressed", s.sm);
+        *prev = s.start;
+    }
+
+    // Job spans: one JobBegin and one JobEnd per completed job.
+    let begins = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::JobBegin { .. }))
+        .count();
+    let ends = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::JobEnd { .. }))
+        .count();
+    assert_eq!(begins, stats.completions.len());
+    assert_eq!(ends, stats.completions.len());
+}
+
+#[test]
+fn job_end_breakdown_sums_to_jct() {
+    let stats = run(7, true);
+    let log = trace_of(&stats);
+    let mut checked = 0;
+    for e in &log.events {
+        if let TraceEvent::JobEnd {
+            jct_ns,
+            client_send_recv_ns,
+            communication_ns,
+            queuing_scheduling_ns,
+            framework_ns,
+            device_ns,
+            ..
+        } = e.event
+        {
+            assert_eq!(
+                client_send_recv_ns
+                    + communication_ns
+                    + queuing_scheduling_ns
+                    + framework_ns
+                    + device_ns,
+                jct_ns,
+                "breakdown must sum to end-to-end JCT"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, stats.completions.len());
+
+    // And the trace agrees with the completions' own breakdowns.
+    for c in &stats.completions {
+        let LatencyBreakdown {
+            client_send_recv,
+            communication,
+            queuing_scheduling,
+            framework,
+            device,
+        } = c.breakdown;
+        assert_eq!(
+            client_send_recv + communication + queuing_scheduling + framework + device,
+            c.jct(),
+        );
+    }
+}
+
+#[test]
+fn same_seed_exports_identical_bytes() {
+    let a = run(13, true);
+    let b = run(13, true);
+    let ja = chrome_trace_json(trace_of(&a));
+    let jb = chrome_trace_json(trace_of(&b));
+    let n = validate_chrome_trace(&ja).expect("valid Chrome trace");
+    assert!(n > 100, "expected a substantive trace, got {n} events");
+    assert_eq!(ja, jb, "same seed must export byte-identical traces");
+
+    // A different seed must not (the workload generator is seed-driven).
+    let c = run(14, true);
+    assert_ne!(ja, chrome_trace_json(trace_of(&c)));
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing_and_records_nothing() {
+    let on = run(21, true);
+    let off = run(21, false);
+    assert!(off.trace.is_none());
+    assert!(off.metrics.is_none());
+    assert_eq!(on.completions.len(), off.completions.len());
+    for (x, y) in on.completions.iter().zip(off.completions.iter()) {
+        assert_eq!(x.job, y.job);
+        assert_eq!(
+            x.client_visible_at, y.client_visible_at,
+            "telemetry must be pay-for-use"
+        );
+        assert_eq!(x.breakdown, y.breakdown);
+    }
+
+    let m = on.metrics.as_ref().expect("metrics on");
+    assert_eq!(m.counter("jobs_completed"), on.completions.len() as u64);
+    assert_eq!(m.counter("jobs_ingested"), on.completions.len() as u64);
+    assert!(m.counter("kernels_dispatched") > 0);
+    assert!(m.series("inflight_jobs").is_some());
+}
