@@ -49,7 +49,12 @@ impl Doorbell {
     /// sleeps are remembered (edge → level via the epoch counter), so a ring
     /// that races with a sleeper's registration is never lost.
     pub fn ring(&self) {
+        // release: orders the work that prompted this ring (e.g. the result
+        // write) before the epoch bump a waiter's acquire load observes.
         self.epoch.fetch_add(1, Ordering::Release);
+        // acquire: pairs with the waiter's AcqRel registration increment —
+        // if a waiter got past `fetch_add` before our epoch bump, we must
+        // see its count and take the sleeper lock to unpark it.
         if self.waiters.load(Ordering::Acquire) > 0 {
             let mut sleepers = self.sleepers.lock().expect("doorbell poisoned");
             for t in sleepers.drain(..) {
@@ -61,6 +66,8 @@ impl Doorbell {
     /// Current epoch; a later [`wait_past`](Self::wait_past) with this value
     /// returns once `ring` has been called at least once more.
     pub fn epoch(&self) -> u64 {
+        // acquire: pairs with ring()'s release bump, so an observed epoch
+        // carries the ringing thread's prior writes.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -68,8 +75,13 @@ impl Doorbell {
     /// Returns `true` if woken by a ring, `false` on timeout.
     pub fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        // acqrel: the release half makes our registration visible to ring()'s
+        // acquire waiters check (the Dekker-style handshake that prevents a
+        // lost wakeup); the acquire half orders the epoch re-check below
+        // after the registration.
         self.waiters.fetch_add(1, Ordering::AcqRel);
         let woke = loop {
+            // acquire: pairs with ring()'s release bump.
             if self.epoch.load(Ordering::Acquire) != seen {
                 break true;
             }
@@ -81,6 +93,9 @@ impl Doorbell {
                 let mut sleepers = self.sleepers.lock().expect("doorbell poisoned");
                 // Re-check under the lock so a concurrent `ring` cannot slip
                 // between our epoch check and registration.
+                // acquire: combined with the sleepers mutex this is what
+                // makes the park below safe — a ring that bumped the epoch
+                // before we took the lock is observed here.
                 if self.epoch.load(Ordering::Acquire) != seen {
                     break true;
                 }
@@ -88,6 +103,8 @@ impl Doorbell {
             }
             std::thread::park_timeout(deadline - now);
         };
+        // acqrel: deregistration mirrors the increment above; release keeps
+        // it ordered after our final epoch read.
         self.waiters.fetch_sub(1, Ordering::AcqRel);
         woke
     }

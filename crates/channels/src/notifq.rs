@@ -63,8 +63,27 @@ impl NotifWriter {
     /// is why the paper's measured instrumentation overhead is so small
     /// (Fig. 15).
     pub fn post(&self, n: Notification) {
+        // relaxed: the claim only needs the RMW's per-index uniqueness —
+        // every writer gets a distinct slot. Cross-thread visibility of the
+        // notification itself rides on the release store below, not on tail.
         let idx = self.inner.tail.fetch_add(1, Ordering::Relaxed);
         let slot = &self.inner.slots[(idx % self.inner.slots.len() as u64) as usize];
+        // The ring has no overrun check by design (§5.2): flow control must
+        // keep outstanding notifications within capacity. Under the
+        // `check-overrun` feature, verify that contract instead of trusting
+        // it — the claimed slot must still be invalid (consumed); a live
+        // word here means a writer lapped the reader. Checking the slot
+        // itself (not a reader cursor snapshot) keeps the assert race-free:
+        // this writer owns the slot from claim to publish.
+        #[cfg(feature = "check-overrun")]
+        assert_eq!(
+            slot.load(Ordering::Acquire),
+            INVALID_WORD,
+            "notifQ overrun: writer lapped the reader at index {idx} (flow control violated)",
+        );
+        // release: publishing the word must make every prior write of this
+        // thread (the simulated block's work) visible to the reader's
+        // acquire scan before the word itself is observable.
         slot.store(n.encode(), Ordering::Release);
     }
 
@@ -79,8 +98,12 @@ impl NotifReader {
     /// invalid (the paper's third, `invalid` event type marks stale slots).
     pub fn poll(&mut self) -> Option<Notification> {
         let slot = &self.inner.slots[(self.head % self.inner.slots.len() as u64) as usize];
+        // acquire: pairs with the writer's release publish; everything the
+        // posting block wrote before the word is visible once we decode it.
         let word = slot.load(Ordering::Acquire);
         let n = Notification::decode(word)?;
+        // release: the reset hands the slot back to writers — it must not
+        // reorder before the acquire load above consumed the word.
         slot.store(INVALID_WORD, Ordering::Release);
         self.head += 1;
         Some(n)
@@ -180,5 +203,30 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = notif_queue(0);
+    }
+
+    /// With `check-overrun`, a post that laps the reader trips the
+    /// flow-control assertion instead of silently corrupting a slot.
+    #[cfg(feature = "check-overrun")]
+    #[test]
+    #[should_panic(expected = "notifQ overrun")]
+    fn overrun_is_detected_when_checked() {
+        let (w, _r) = notif_queue(2);
+        for k in 0..3 {
+            w.post(Notification::placement(0, k, 1));
+        }
+    }
+
+    /// The overrun check never fires while flow control is honored, even
+    /// across many wraparounds.
+    #[cfg(feature = "check-overrun")]
+    #[test]
+    fn overrun_check_is_silent_within_flow_control() {
+        let (w, mut r) = notif_queue(2);
+        for round in 0..100u32 {
+            w.post(Notification::placement(0, round, 1));
+            w.post(Notification::completion(0, round, 1));
+            assert_eq!(r.drain_into(&mut Vec::new()), 2);
+        }
     }
 }

@@ -35,9 +35,12 @@ unsafe impl<T: Send> Sync for Shared<T> {}
 
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
-        // Drop any queued-but-unread items. By the time Shared drops, both
-        // handles are gone, so plain loads are fine.
+        // Drop any queued-but-unread items.
+        // relaxed: by the time Shared drops both handles are gone, and the
+        // Arc's reference-count decrement already synchronized their final
+        // writes with this thread — no concurrent access remains.
         let head = self.head.0.load(Ordering::Relaxed);
+        // relaxed: same reasoning as head above.
         let tail = self.tail.0.load(Ordering::Relaxed);
         let mut i = head;
         while i != tail {
@@ -121,12 +124,18 @@ impl<T: Send> Producer<T> {
     /// Attempts to enqueue `value` without blocking.
     pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
         let s = &*self.shared;
+        // acquire: pairs with the consumer's release store in its Drop, so a
+        // disconnect observed here is ordered after the consumer's last pop.
         if !s.consumer_alive.load(Ordering::Acquire) {
             return Err(PushError::Disconnected(value));
         }
+        // relaxed: tail is written only by this producer thread; reading our
+        // own last store needs no synchronization.
         let tail = s.tail.0.load(Ordering::Relaxed);
         if tail.wrapping_sub(self.cached_head) >= s.cap {
             // Refresh the consumer's progress before declaring the ring full.
+            // acquire: pairs with the consumer's release head store in
+            // take(); we may only overwrite a slot after its read completed.
             self.cached_head = s.head.0.load(Ordering::Acquire);
             if tail.wrapping_sub(self.cached_head) >= s.cap {
                 return Err(PushError::Full(value));
@@ -135,6 +144,8 @@ impl<T: Send> Producer<T> {
         // SAFETY: slot `tail % cap` is outside [head, tail), so the consumer
         // will not touch it until we publish the new tail below.
         unsafe { (*s.buf[tail % s.cap].get()).write(value) };
+        // release: publishes the slot write above; the consumer's acquire
+        // tail load sees the value fully initialized.
         s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
@@ -142,7 +153,10 @@ impl<T: Send> Producer<T> {
     /// Number of free slots (a lower bound from the producer's view).
     pub fn free_len(&self) -> usize {
         let s = &*self.shared;
+        // acquire: a slot counted free must have finished being read (pairs
+        // with the consumer's release head store).
         let head = s.head.0.load(Ordering::Acquire);
+        // relaxed: self-read of the producer-owned cursor.
         let tail = s.tail.0.load(Ordering::Relaxed);
         s.cap - tail.wrapping_sub(head)
     }
@@ -150,6 +164,8 @@ impl<T: Send> Producer<T> {
 
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
+        // release: orders our final push before the death flag, so a consumer
+        // that observes `!alive` and re-checks tail sees that last item.
         self.shared.producer_alive.store(false, Ordering::Release);
     }
 }
@@ -158,15 +174,22 @@ impl<T: Send> Consumer<T> {
     /// Attempts to dequeue one item without blocking.
     pub fn pop(&mut self) -> Result<T, PopError> {
         let s = &*self.shared;
+        // relaxed: head is written only by this consumer thread; reading our
+        // own last store needs no synchronization.
         let head = s.head.0.load(Ordering::Relaxed);
         if head == self.cached_tail {
+            // acquire: pairs with the producer's release tail store, making
+            // the published slot's contents visible before we read them.
             self.cached_tail = s.tail.0.load(Ordering::Acquire);
             if head == self.cached_tail {
+                // acquire: pairs with the producer Drop's release store, so
+                // the death flag is ordered after its final push.
                 return if s.producer_alive.load(Ordering::Acquire) {
                     Err(PopError::Empty)
                 } else {
                     // Re-check after observing the death flag: the producer
                     // may have pushed right before dropping.
+                    // acquire: same pairing as the tail load above.
                     self.cached_tail = s.tail.0.load(Ordering::Acquire);
                     if head == self.cached_tail {
                         Err(PopError::Disconnected)
@@ -185,6 +208,9 @@ impl<T: Send> Consumer<T> {
         // the producer published with a release store and will not reuse
         // until we advance `head`.
         let value = unsafe { (*s.buf[head % s.cap].get()).assume_init_read() };
+        // release: hands the slot back to the producer — the read above must
+        // complete before the producer's acquire head load can see the
+        // advanced cursor and overwrite the slot.
         s.head.0.store(head.wrapping_add(1), Ordering::Release);
         value
     }
@@ -193,7 +219,10 @@ impl<T: Send> Consumer<T> {
     /// view).
     pub fn len(&self) -> usize {
         let s = &*self.shared;
+        // acquire: an item counted here must be fully published (pairs with
+        // the producer's release tail store).
         let tail = s.tail.0.load(Ordering::Acquire);
+        // relaxed: self-read of the consumer-owned cursor.
         let head = s.head.0.load(Ordering::Relaxed);
         tail.wrapping_sub(head)
     }
@@ -206,6 +235,8 @@ impl<T: Send> Consumer<T> {
 
 impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
+        // release: orders our final pops before the death flag the producer
+        // reads with acquire in push().
         self.shared.consumer_alive.store(false, Ordering::Release);
     }
 }

@@ -1,0 +1,162 @@
+//! The atomics abstraction that lets one channel algorithm run both under
+//! the interleaving checker and on real hardware atomics.
+//!
+//! Channel models in [`crate::models`] are written against
+//! [`AtomicCell<C>`]: under the checker `C` is the engine context
+//! ([`Ctx`]) and every access is a schedule point with explorable
+//! weak-memory behavior; on real atomics `C = ()` and the calls compile
+//! down to plain `std::sync::atomic` operations. The same source therefore
+//! serves as both the verified model and a sanity-checkable executable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::mc::memory::MemOrd;
+use crate::mc::{Ctx, VAtomic};
+
+/// A 64-bit atomic location usable through context `C`.
+pub trait AtomicCell<C> {
+    /// Atomic load with candidate-choice weak-memory semantics under the
+    /// checker (may observe stale values permitted by the ordering).
+    fn load(&self, c: &mut C, ord: MemOrd) -> u64;
+    /// A load guaranteed to observe the latest store — what a spin loop
+    /// relies on for progress. On real atomics this is a plain `load`.
+    fn load_fresh(&self, c: &mut C, ord: MemOrd) -> u64;
+    /// Atomic store.
+    fn store(&self, c: &mut C, val: u64, ord: MemOrd);
+    /// Atomic fetch-add returning the previous value.
+    fn fetch_add(&self, c: &mut C, val: u64, ord: MemOrd) -> u64;
+    /// Atomic compare-exchange; `Err` carries the observed value.
+    fn compare_exchange(&self, c: &mut C, current: u64, new: u64, ord: MemOrd) -> Result<u64, u64>;
+    /// Blocks (or spins) until a fresh load satisfies `pred`; returns that
+    /// value. Under the checker this parks the thread until the location
+    /// changes, keeping executions finite; on real atomics it spins.
+    fn wait_until<F: Fn(u64) -> bool>(&self, c: &mut C, ord: MemOrd, pred: F) -> u64;
+}
+
+impl AtomicCell<Ctx> for VAtomic {
+    fn load(&self, c: &mut Ctx, ord: MemOrd) -> u64 {
+        c.load(*self, ord)
+    }
+
+    fn load_fresh(&self, c: &mut Ctx, ord: MemOrd) -> u64 {
+        c.load_fresh(*self, ord)
+    }
+
+    fn store(&self, c: &mut Ctx, val: u64, ord: MemOrd) {
+        c.store(*self, val, ord)
+    }
+
+    fn fetch_add(&self, c: &mut Ctx, val: u64, ord: MemOrd) -> u64 {
+        c.rmw(*self, ord, |v| v.wrapping_add(val))
+    }
+
+    fn compare_exchange(
+        &self,
+        c: &mut Ctx,
+        current: u64,
+        new: u64,
+        ord: MemOrd,
+    ) -> Result<u64, u64> {
+        c.compare_exchange(*self, current, new, ord)
+    }
+
+    fn wait_until<F: Fn(u64) -> bool>(&self, c: &mut Ctx, ord: MemOrd, pred: F) -> u64 {
+        loop {
+            // Mark before loading: a store landing between the load and the
+            // wait grows the history past the mark, so the wait returns
+            // immediately instead of losing the wakeup.
+            let m = c.mark(*self);
+            let v = c.load_fresh(*self, ord);
+            if pred(v) {
+                return v;
+            }
+            c.wait_changed(*self, m);
+        }
+    }
+}
+
+fn to_std(ord: MemOrd) -> Ordering {
+    match ord {
+        MemOrd::Relaxed => Ordering::Relaxed,
+        MemOrd::Acquire => Ordering::Acquire,
+        MemOrd::Release => Ordering::Release,
+        MemOrd::AcqRel => Ordering::AcqRel,
+    }
+}
+
+/// `Acquire`/`AcqRel` are invalid store orderings in `std`; clamp to what
+/// the standard allows while keeping at least the requested release side.
+fn to_std_store(ord: MemOrd) -> Ordering {
+    match ord {
+        MemOrd::Relaxed => Ordering::Relaxed,
+        MemOrd::Acquire | MemOrd::Release | MemOrd::AcqRel => Ordering::Release,
+    }
+}
+
+fn to_std_load(ord: MemOrd) -> Ordering {
+    match ord {
+        MemOrd::Relaxed => Ordering::Relaxed,
+        MemOrd::Acquire | MemOrd::Release | MemOrd::AcqRel => Ordering::Acquire,
+    }
+}
+
+impl AtomicCell<()> for AtomicU64 {
+    fn load(&self, _c: &mut (), ord: MemOrd) -> u64 {
+        self.load(to_std_load(ord))
+    }
+
+    fn load_fresh(&self, _c: &mut (), ord: MemOrd) -> u64 {
+        self.load(to_std_load(ord))
+    }
+
+    fn store(&self, _c: &mut (), val: u64, ord: MemOrd) {
+        self.store(val, to_std_store(ord))
+    }
+
+    fn fetch_add(&self, _c: &mut (), val: u64, ord: MemOrd) -> u64 {
+        self.fetch_add(val, to_std(ord))
+    }
+
+    fn compare_exchange(
+        &self,
+        _c: &mut (),
+        current: u64,
+        new: u64,
+        ord: MemOrd,
+    ) -> Result<u64, u64> {
+        self.compare_exchange(current, new, to_std(ord), Ordering::Relaxed)
+    }
+
+    fn wait_until<F: Fn(u64) -> bool>(&self, _c: &mut (), ord: MemOrd, pred: F) -> u64 {
+        loop {
+            let v = self.load(to_std_load(ord));
+            if pred(v) {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_atomic_roundtrip() {
+        let a = AtomicU64::new(3);
+        let c = &mut ();
+        assert_eq!(AtomicCell::load(&a, c, MemOrd::Acquire), 3);
+        AtomicCell::store(&a, c, 7, MemOrd::Release);
+        assert_eq!(AtomicCell::load_fresh(&a, c, MemOrd::Relaxed), 7);
+        assert_eq!(AtomicCell::fetch_add(&a, c, 2, MemOrd::AcqRel), 7);
+        assert_eq!(
+            AtomicCell::compare_exchange(&a, c, 9, 11, MemOrd::AcqRel),
+            Ok(9)
+        );
+        assert_eq!(
+            AtomicCell::compare_exchange(&a, c, 9, 12, MemOrd::AcqRel),
+            Err(11)
+        );
+    }
+}

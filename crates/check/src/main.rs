@@ -1,0 +1,146 @@
+//! The `paella-check` CI gate.
+//!
+//! ```text
+//! paella-check [all|lint|model|mutate] [--root <workspace-root>]
+//! ```
+//!
+//! * `lint`   — run the custom source lints over `crates/*/src`.
+//! * `model`  — exhaustively model-check the clean channel models.
+//! * `mutate` — run the seeded-mutant corpus; every mutant must be caught.
+//! * `all`    — all of the above (the default).
+//!
+//! Exits 0 only if every selected stage is fully green.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use paella_check::{clean_models, lint, mutants};
+
+fn usage() -> ! {
+    eprintln!("usage: paella-check [all|lint|model|mutate] [--root <workspace-root>]");
+    std::process::exit(2);
+}
+
+/// Finds the workspace root: `--root` if given, else the nearest ancestor of
+/// the current directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            eprintln!("error: no workspace root found above the current directory");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> bool {
+    println!("== lint: crates/*/src ==");
+    let violations = match lint::run(root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint walk failed: {e}");
+            return false;
+        }
+    };
+    for v in &violations {
+        println!("  {v}");
+    }
+    println!(
+        "lint: {} violation{}",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" }
+    );
+    violations.is_empty()
+}
+
+fn run_models() -> bool {
+    println!("== model check: clean channel models ==");
+    let mut ok = true;
+    for m in clean_models() {
+        let report = (m.run)();
+        let status = if report.passed() {
+            "ok"
+        } else if let Some(f) = &report.failure {
+            ok = false;
+            println!("  FAIL {}: {}", m.name, f.message);
+            for step in &f.trace {
+                println!("       | {step}");
+            }
+            continue;
+        } else {
+            ok = false;
+            "NOT EXHAUSTED (raise max_executions)"
+        };
+        println!(
+            "  {:<28} {:>9} executions  {}",
+            m.name, report.executions, status
+        );
+    }
+    ok
+}
+
+fn run_mutants() -> bool {
+    println!("== mutation self-test: every seeded bug must be caught ==");
+    let mut ok = true;
+    for m in mutants() {
+        let report = (m.run)();
+        match &report.failure {
+            Some(f) => {
+                let first = f.message.lines().next().unwrap_or("");
+                println!(
+                    "  caught   {:<26} [{}] after {} executions: {first}",
+                    m.id, m.class, report.executions
+                );
+            }
+            None => {
+                ok = false;
+                println!(
+                    "  SURVIVED {:<26} [{}] — checker blind spot: {}",
+                    m.id, m.class, m.description
+                );
+            }
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut cmd = String::from("all");
+    let mut root = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "all" | "lint" | "model" | "mutate" => cmd = a,
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let root = workspace_root(root);
+
+    let mut ok = true;
+    if cmd == "all" || cmd == "lint" {
+        ok &= run_lint(&root);
+    }
+    if cmd == "all" || cmd == "model" {
+        ok &= run_models();
+    }
+    if cmd == "all" || cmd == "mutate" {
+        ok &= run_mutants();
+    }
+    if ok {
+        println!("paella-check: all green");
+        ExitCode::SUCCESS
+    } else {
+        println!("paella-check: FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,555 @@
+//! Checkable models of the `paella-channels` lock-free algorithms.
+//!
+//! The notification-queue and SPSC algorithms are re-expressed here as
+//! *generic* functions over [`AtomicCell`], with every memory ordering
+//! lifted into a profile struct ([`NotifqOrds`], [`SpscOrds`]). The correct
+//! profiles mirror the orderings in `crates/channels/src/{notifq,spsc}.rs`
+//! site by site; mutant profiles downgrade exactly one site, and the
+//! checker must produce a counterexample for each — that is the mutation
+//! self-test proving the checker has teeth.
+//!
+//! The doorbell model exercises the park/unpark wakeup protocol directly
+//! against [`Ctx`] (parking has no `std`-generic expression); its mutants
+//! are structural (skip the under-lock epoch recheck, never drain
+//! sleepers) and surface as model deadlocks — lost wakeups.
+//!
+//! Properties verified on the clean models, per §5.2 of the paper:
+//! * **publication ordering** — a consumed notification's payload is the one
+//!   written before it was posted;
+//! * **single-reader cursor monotonicity** — the reader sees each
+//!   notification exactly once, in slot order;
+//! * **no-overrun flow control** — with at most `CAP` outstanding posts the
+//!   ring never overwrites an unconsumed slot (the overrun mutant posts
+//!   `CAP + 1` and must be flagged);
+//! * **doorbell liveness** — no interleaving parks the waiter forever.
+
+use crate::atomic::AtomicCell;
+use crate::mc::memory::MemOrd;
+use crate::mc::{Checker, Config, Ctx, Report, VAtomic};
+
+/// Memory-ordering profile for the notification-queue model. Field order
+/// follows the life of a post: payload write, slot claim, publication, then
+/// the reader's scan, payload read, and slot reset.
+#[derive(Clone, Copy, Debug)]
+pub struct NotifqOrds {
+    /// Payload store before posting (`data_write`).
+    pub data_write: MemOrd,
+    /// `tail.fetch_add` claiming a slot.
+    pub claim: MemOrd,
+    /// Slot store publishing the notification word.
+    pub publish: MemOrd,
+    /// Reader's slot load.
+    pub scan: MemOrd,
+    /// Reader's payload load.
+    pub data_read: MemOrd,
+    /// Reader's slot reset store.
+    pub reset: MemOrd,
+}
+
+impl NotifqOrds {
+    /// The orderings used by `crates/channels/src/notifq.rs`.
+    pub const CORRECT: NotifqOrds = NotifqOrds {
+        data_write: MemOrd::Relaxed,
+        claim: MemOrd::Relaxed,
+        publish: MemOrd::Release,
+        scan: MemOrd::Acquire,
+        data_read: MemOrd::Relaxed,
+        reset: MemOrd::Release,
+    };
+}
+
+/// Memory-ordering profile for the SPSC ring model, mirroring
+/// `crates/channels/src/spsc.rs`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpscOrds {
+    /// Producer's load of the consumer cursor (full check).
+    pub head_load: MemOrd,
+    /// Producer's payload store into the slot.
+    pub slot_write: MemOrd,
+    /// Producer's tail publication store.
+    pub publish: MemOrd,
+    /// Consumer's load of the producer cursor (empty check).
+    pub tail_load: MemOrd,
+    /// Consumer's payload load from the slot.
+    pub slot_read: MemOrd,
+    /// Consumer's head advance store.
+    pub head_store: MemOrd,
+}
+
+impl SpscOrds {
+    /// The orderings used by `crates/channels/src/spsc.rs`.
+    pub const CORRECT: SpscOrds = SpscOrds {
+        head_load: MemOrd::Acquire,
+        slot_write: MemOrd::Relaxed,
+        publish: MemOrd::Release,
+        tail_load: MemOrd::Acquire,
+        slot_read: MemOrd::Relaxed,
+        head_store: MemOrd::Release,
+    };
+}
+
+/// The notifQ post path (`NotifQueue::post`): write the payload, claim a
+/// slot with a tail fetch-add, publish the non-zero notification word.
+/// Payload for writer `w` is `100 + w`; word is `w + 1` (0 = empty).
+pub fn notifq_post<C, A: AtomicCell<C>>(
+    c: &mut C,
+    tail: &A,
+    slots: &[A],
+    data: &[A],
+    writer: usize,
+    ords: NotifqOrds,
+) {
+    data[writer].store(c, 100 + writer as u64, ords.data_write);
+    let t = tail.fetch_add(c, 1, ords.claim);
+    let slot = (t as usize) % slots.len();
+    slots[slot].store(c, writer as u64 + 1, ords.publish);
+}
+
+/// The notifQ poll path (`NotifQueue::poll`), single reader: scan the head
+/// slot until non-zero, read the payload the word points at, reset the slot,
+/// advance the private cursor. Returns `(word, payload)` pairs in
+/// consumption order; an out-of-range word yields payload `u64::MAX`.
+pub fn notifq_consume<C, A: AtomicCell<C>>(
+    c: &mut C,
+    slots: &[A],
+    data: &[A],
+    count: usize,
+    ords: NotifqOrds,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(count);
+    for head in 0..count {
+        let slot = head % slots.len();
+        let word = slots[slot].wait_until(c, ords.scan, |v| v != 0);
+        let w = (word as usize).wrapping_sub(1);
+        let payload = if w < data.len() {
+            data[w].load(c, ords.data_read)
+        } else {
+            u64::MAX
+        };
+        slots[slot].store(c, 0, ords.reset);
+        out.push((word, payload));
+    }
+    out
+}
+
+/// The SPSC push path: wait for room, write the slot, publish the tail.
+pub fn spsc_produce<C, A: AtomicCell<C>>(
+    c: &mut C,
+    head: &A,
+    tail: &A,
+    slots: &[A],
+    items: &[u64],
+    ords: SpscOrds,
+) {
+    let cap = slots.len() as u64;
+    let mut t = 0u64;
+    for &item in items {
+        head.wait_until(c, ords.head_load, |h| t - h < cap);
+        slots[(t % cap) as usize].store(c, item, ords.slot_write);
+        t += 1;
+        tail.store(c, t, ords.publish);
+    }
+}
+
+/// The SPSC pop path: wait for data, read the slot, advance the head.
+pub fn spsc_consume<C, A: AtomicCell<C>>(
+    c: &mut C,
+    head: &A,
+    tail: &A,
+    slots: &[A],
+    count: usize,
+    ords: SpscOrds,
+) -> Vec<u64> {
+    let cap = slots.len() as u64;
+    let mut h = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        tail.wait_until(c, ords.tail_load, |t| t > h);
+        let v = slots[(h % cap) as usize].load(c, ords.slot_read);
+        out.push(v);
+        h += 1;
+        head.store(c, h, ords.head_store);
+    }
+    out
+}
+
+const NOTIFQ_CAP: usize = 2;
+
+/// Model-checks the notifQ algorithm with `writers` concurrent posters and
+/// one reader over a `NOTIFQ_CAP`-slot ring. `writers > NOTIFQ_CAP`
+/// deliberately violates the flow-control precondition.
+pub fn notifq_check(ords: NotifqOrds, writers: usize) -> Report {
+    Checker::new(Config::default()).check(move |b| {
+        let tail = b.atomic("tail", 0);
+        let slots: Vec<VAtomic> = (0..NOTIFQ_CAP)
+            .map(|i| b.atomic(&format!("slot{i}"), 0))
+            .collect();
+        let data: Vec<VAtomic> = (0..writers)
+            .map(|w| b.atomic(&format!("data{w}"), 0))
+            .collect();
+        for w in 0..writers {
+            let slots = slots.clone();
+            let data = data.clone();
+            b.thread(&format!("writer{w}"), move |c| {
+                notifq_post(c, &tail, &slots, &data, w, ords);
+            });
+        }
+        let slots = slots.clone();
+        let data = data.clone();
+        b.thread("reader", move |c| {
+            let got = notifq_consume(c, &slots, &data, writers, ords);
+            let mut seen = vec![false; writers];
+            for (word, payload) in got {
+                let w = (word as usize).wrapping_sub(1);
+                c.check(w < writers, "notification word decodes to a live writer");
+                if w < writers {
+                    c.check(!seen[w], "reader cursor sees each notification once");
+                    seen[w] = true;
+                    c.check(
+                        payload == 100 + w as u64,
+                        "payload store happens-before its notification",
+                    );
+                }
+            }
+        });
+    })
+}
+
+/// Model-checks the SPSC ring with a capacity-1 buffer and two items, which
+/// exercises both the empty wait (consumer) and the full wait (producer).
+pub fn spsc_check(ords: SpscOrds) -> Report {
+    Checker::new(Config::default()).check(move |b| {
+        let head = b.atomic("head", 0);
+        let tail = b.atomic("tail", 0);
+        let slots = vec![b.atomic("slot0", 0)];
+        let items = [41u64, 42];
+        {
+            let slots = slots.clone();
+            b.thread("producer", move |c| {
+                spsc_produce(c, &head, &tail, &slots, &items, ords);
+            });
+        }
+        b.thread("consumer", move |c| {
+            let got = spsc_consume(c, &head, &tail, &slots, items.len(), ords);
+            c.check(got == items, "consumer pops the published items in order");
+        });
+    })
+}
+
+/// Structural knobs for the doorbell model; the clean configuration has both
+/// enabled, each mutant disables one.
+#[derive(Clone, Copy, Debug)]
+pub struct DoorbellCfg {
+    /// Re-check the epoch under the sleeper lock before parking (closes the
+    /// check-then-park race against a concurrent ring).
+    pub recheck_under_lock: bool,
+    /// The ring path inspects `waiters` and drains sleepers.
+    pub ring_checks_sleepers: bool,
+}
+
+impl DoorbellCfg {
+    /// The protocol as implemented by `crates/channels/src/doorbell.rs`.
+    pub const CORRECT: DoorbellCfg = DoorbellCfg {
+        recheck_under_lock: true,
+        ring_checks_sleepers: true,
+    };
+}
+
+/// A CAS spinlock standing in for the doorbell's sleeper mutex. Lock
+/// acquisition is `Acquire` (joins the unlocker's view — this edge is what
+/// makes the under-lock epoch recheck sound), release is a plain `Release`
+/// store.
+fn spin_lock(c: &mut Ctx, lock: VAtomic) {
+    loop {
+        let m = c.mark(lock);
+        if c.compare_exchange(lock, 0, 1, MemOrd::Acquire).is_ok() {
+            return;
+        }
+        c.wait_changed(lock, m);
+    }
+}
+
+fn spin_unlock(c: &mut Ctx, lock: VAtomic) {
+    c.store(lock, 0, MemOrd::Release);
+}
+
+/// Model-checks the doorbell wakeup protocol: one waiter polling a data
+/// word with an epoch-guarded park, one ringer posting the data and ringing.
+/// The property is liveness — no interleaving may leave the waiter parked
+/// (a lost wakeup), which the engine reports as a deadlock.
+///
+/// Freshness note: the loop-control reads (`data`, epoch at loop tops,
+/// `waiters` on the ring path) use `load_fresh`, modeling the
+/// eventual-visibility guarantee real spin loops rely on. The epoch recheck
+/// *under the lock* is a regular candidate-choice load: its correctness must
+/// come from the lock's release/acquire edge alone, so the model genuinely
+/// verifies that edge.
+pub fn doorbell_check(cfg: DoorbellCfg) -> Report {
+    Checker::new(Config::default()).check(move |b| {
+        let data = b.atomic("data", 0);
+        let epoch = b.atomic("epoch", 0);
+        let waiters = b.atomic("waiters", 0);
+        let sleeping = b.atomic("sleeping", 0);
+        let lock = b.atomic("lock", 0);
+        let waiter = b.thread("waiter", move |c| {
+            loop {
+                let seen = c.load_fresh(epoch, MemOrd::Acquire);
+                if c.load_fresh(data, MemOrd::Acquire) != 0 {
+                    break;
+                }
+                // wait_past(seen)
+                c.rmw(waiters, MemOrd::AcqRel, |w| w + 1);
+                loop {
+                    if c.load_fresh(epoch, MemOrd::Acquire) != seen {
+                        break;
+                    }
+                    spin_lock(c, lock);
+                    if cfg.recheck_under_lock && c.load(epoch, MemOrd::Acquire) != seen {
+                        spin_unlock(c, lock);
+                        break;
+                    }
+                    c.store(sleeping, 1, MemOrd::Relaxed);
+                    spin_unlock(c, lock);
+                    c.park();
+                }
+                c.rmw(waiters, MemOrd::AcqRel, |w| w.wrapping_sub(1));
+            }
+            let v = c.load_fresh(data, MemOrd::Acquire);
+            c.check(v == 1, "woken waiter observes the posted data");
+        });
+        b.thread("ringer", move |c| {
+            c.store(data, 1, MemOrd::Relaxed);
+            c.rmw(epoch, MemOrd::Release, |e| e + 1);
+            if cfg.ring_checks_sleepers && c.load_fresh(waiters, MemOrd::Acquire) > 0 {
+                spin_lock(c, lock);
+                if c.load(sleeping, MemOrd::Acquire) == 1 {
+                    c.store(sleeping, 0, MemOrd::Relaxed);
+                    c.unpark(waiter);
+                }
+                spin_unlock(c, lock);
+            }
+        });
+    })
+}
+
+/// A named clean-model check that must pass exhaustively.
+pub struct ModelCheck {
+    /// Short identifier (`notifq`, `spsc`, `doorbell`).
+    pub name: &'static str,
+    /// What the model verifies.
+    pub description: &'static str,
+    /// Runs the exploration.
+    pub run: fn() -> Report,
+}
+
+/// The clean models: every one must explore to exhaustion with no failure.
+pub fn clean_models() -> Vec<ModelCheck> {
+    vec![
+        ModelCheck {
+            name: "notifq",
+            description: "2 writers / 1 reader: publication ordering, cursor \
+                          monotonicity, no overrun within flow control",
+            run: || notifq_check(NotifqOrds::CORRECT, 2),
+        },
+        ModelCheck {
+            name: "spsc",
+            description: "capacity-1 ring, 2 items: in-order delivery with \
+                          published payloads through both wait paths",
+            run: || spsc_check(SpscOrds::CORRECT),
+        },
+        ModelCheck {
+            name: "doorbell",
+            description: "1 waiter / 1 ringer: no interleaving loses the wakeup",
+            run: || doorbell_check(DoorbellCfg::CORRECT),
+        },
+    ]
+}
+
+/// One seeded bug the checker must catch.
+pub struct Mutant {
+    /// Short identifier.
+    pub id: &'static str,
+    /// Bug class: `memory-ordering`, `flow-control`, or `lost-wakeup`.
+    pub class: &'static str,
+    /// What was broken.
+    pub description: &'static str,
+    /// Runs the exploration; the report must carry a failure.
+    pub run: fn() -> Report,
+}
+
+/// The mutation self-test registry. Each entry seeds one bug that the
+/// repo's ordinary unit/property tests do not catch (they run on x86-strong
+/// hardware and real schedulers); the checker must flag every one.
+pub fn mutants() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            id: "notifq-publish-relaxed",
+            class: "memory-ordering",
+            description: "notifq slot publication store downgraded Release -> Relaxed \
+                          (reader may see the word before the payload)",
+            run: || {
+                notifq_check(
+                    NotifqOrds {
+                        publish: MemOrd::Relaxed,
+                        ..NotifqOrds::CORRECT
+                    },
+                    2,
+                )
+            },
+        },
+        Mutant {
+            id: "notifq-scan-relaxed",
+            class: "memory-ordering",
+            description: "notifq reader slot scan downgraded Acquire -> Relaxed \
+                          (payload read no longer ordered after the word)",
+            run: || {
+                notifq_check(
+                    NotifqOrds {
+                        scan: MemOrd::Relaxed,
+                        ..NotifqOrds::CORRECT
+                    },
+                    2,
+                )
+            },
+        },
+        Mutant {
+            id: "spsc-publish-relaxed",
+            class: "memory-ordering",
+            description: "spsc tail publication store downgraded Release -> Relaxed \
+                          (consumer may pop a stale slot)",
+            run: || {
+                spsc_check(SpscOrds {
+                    publish: MemOrd::Relaxed,
+                    ..SpscOrds::CORRECT
+                })
+            },
+        },
+        Mutant {
+            id: "spsc-tail-load-relaxed",
+            class: "memory-ordering",
+            description: "spsc consumer tail load downgraded Acquire -> Relaxed \
+                          (slot read no longer ordered after the tail)",
+            run: || {
+                spsc_check(SpscOrds {
+                    tail_load: MemOrd::Relaxed,
+                    ..SpscOrds::CORRECT
+                })
+            },
+        },
+        Mutant {
+            id: "notifq-overrun",
+            class: "flow-control",
+            description: "3 posts into a 2-slot ring (flow-control precondition \
+                          violated): a writer laps the reader and a notification \
+                          is lost",
+            run: || notifq_check(NotifqOrds::CORRECT, NOTIFQ_CAP + 1),
+        },
+        Mutant {
+            id: "doorbell-no-recheck",
+            class: "lost-wakeup",
+            description: "doorbell waiter parks without re-checking the epoch \
+                          under the sleeper lock (classic check-then-park race)",
+            run: || {
+                doorbell_check(DoorbellCfg {
+                    recheck_under_lock: false,
+                    ..DoorbellCfg::CORRECT
+                })
+            },
+        },
+        Mutant {
+            id: "doorbell-no-drain",
+            class: "lost-wakeup",
+            description: "doorbell ring never drains sleepers (parked waiter is \
+                          never unparked)",
+            run: || {
+                doorbell_check(DoorbellCfg {
+                    ring_checks_sleepers: false,
+                    ..DoorbellCfg::CORRECT
+                })
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn clean_notifq_exhausts_without_failure() {
+        let r = notifq_check(NotifqOrds::CORRECT, 2);
+        assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn clean_spsc_exhausts_without_failure() {
+        let r = spsc_check(SpscOrds::CORRECT);
+        assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn clean_doorbell_exhausts_without_failure() {
+        let r = doorbell_check(DoorbellCfg::CORRECT);
+        assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn every_mutant_is_caught() {
+        for m in mutants() {
+            let r = (m.run)();
+            assert!(
+                r.failure.is_some(),
+                "mutant {} survived ({} executions)",
+                m.id,
+                r.executions
+            );
+        }
+    }
+
+    /// The same generic algorithms run on real `AtomicU64`s with real
+    /// threads — the abstraction is executable, not just checkable.
+    #[test]
+    fn generic_notifq_runs_on_real_atomics() {
+        let tail = AtomicU64::new(0);
+        let slots = [AtomicU64::new(0), AtomicU64::new(0)];
+        let data = [AtomicU64::new(0), AtomicU64::new(0)];
+        std::thread::scope(|s| {
+            let t0 = s.spawn(|| notifq_post(&mut (), &tail, &slots, &data, 0, NotifqOrds::CORRECT));
+            let t1 = s.spawn(|| notifq_post(&mut (), &tail, &slots, &data, 1, NotifqOrds::CORRECT));
+            let got = notifq_consume(&mut (), &slots, &data, 2, NotifqOrds::CORRECT);
+            t0.join().unwrap();
+            t1.join().unwrap();
+            let mut seen = [false; 2];
+            for (word, payload) in got {
+                let w = (word as usize) - 1;
+                assert!(!seen[w]);
+                seen[w] = true;
+                assert_eq!(payload, 100 + w as u64);
+            }
+            assert!(seen[0] && seen[1]);
+        });
+    }
+
+    #[test]
+    fn generic_spsc_runs_on_real_atomics() {
+        let head = AtomicU64::new(0);
+        let tail = AtomicU64::new(0);
+        let slots = [AtomicU64::new(0)];
+        let items: Vec<u64> = (1..=64).collect();
+        std::thread::scope(|s| {
+            let producer =
+                s.spawn(|| spsc_produce(&mut (), &head, &tail, &slots, &items, SpscOrds::CORRECT));
+            let got = spsc_consume(
+                &mut (),
+                &head,
+                &tail,
+                &slots,
+                items.len(),
+                SpscOrds::CORRECT,
+            );
+            producer.join().unwrap();
+            assert_eq!(got, items);
+        });
+    }
+}

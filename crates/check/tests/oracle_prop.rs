@@ -1,0 +1,272 @@
+//! Lockstep property tests: the production bookkeeping structures versus
+//! the brute-force oracles in `paella_check::oracle`.
+//!
+//! Each test generates a random but *valid* event script, feeds it to both
+//! implementations, and requires bit-identical answers at every step. A
+//! divergence is a bug in one of the two — and since the oracle is the
+//! naive transcription of the CUDA/Table-1 rules, almost always in the
+//! incremental one.
+
+use proptest::prelude::*;
+
+use paella_channels::Notification;
+use paella_check::{ConservationOracle, StreamOracle};
+use paella_core::{OccupancyTracker, StreamKind, VStream, Waitlist};
+use paella_gpu::{BlockFootprint, SmLimits};
+
+/// Cheap deterministic stream of choices derived from one generated seed.
+fn nx(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+/// Stream id → kind, fixed across tests: 0 is the default stream, 4 is
+/// non-blocking, everything else blocking (CUDA's default).
+fn kind_of(stream: u32) -> StreamKind {
+    match stream {
+        0 => StreamKind::Default,
+        4 => StreamKind::NonBlocking,
+        _ => StreamKind::Blocking,
+    }
+}
+
+fn small_fp() -> BlockFootprint {
+    BlockFootprint {
+        threads: 128,
+        regs_per_thread: 9,
+        shmem: 0,
+    }
+}
+
+fn big_fp() -> BlockFootprint {
+    BlockFootprint {
+        threads: 256,
+        regs_per_thread: 32,
+        shmem: 16 * 1024,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random backward-dep op sequences: push activity, the active set, the
+    /// newly-activated set of every completion, and the drain order all
+    /// match between `Waitlist` and the brute-force `StreamOracle`.
+    #[test]
+    fn waitlist_matches_stream_oracle(
+        ops in proptest::collection::vec((0u32..5, any::<bool>(), any::<u64>()), 1..40),
+        drive in any::<u64>(),
+    ) {
+        let mut w = Waitlist::new();
+        let mut o = StreamOracle::new();
+        let mut stream_of = Vec::new();
+        for (i, &(stream, has_dep, dep_pick)) in ops.iter().enumerate() {
+            let kind = kind_of(stream);
+            w.declare_stream(VStream(stream), kind);
+            let token = i as u64;
+            // Backward deps only (on an earlier token): never a cycle.
+            let deps: Vec<u64> = if has_dep && i > 0 {
+                vec![dep_pick % i as u64]
+            } else {
+                Vec::new()
+            };
+            let got = w.push_with_deps(VStream(stream), token, &deps);
+            let want = o.push(stream, kind, token, &deps);
+            prop_assert_eq!(got.is_ok(), want.is_ok(), "push({token}) result kind");
+            prop_assert_eq!(
+                got.expect("backward deps cannot cycle"),
+                want.expect("backward deps cannot cycle"),
+                "push({token}) activity"
+            );
+            prop_assert_eq!(w.active(), o.active(), "active() after push({token})");
+            stream_of.push(stream);
+        }
+        // Drain by completing a pseudo-randomly chosen active op each step.
+        let mut seed = drive;
+        let mut steps = 0usize;
+        while !w.is_empty() {
+            let active = w.active();
+            prop_assert!(!active.is_empty(), "livelock: tracked ops but none active");
+            let t = active[(nx(&mut seed) as usize) % active.len()];
+            let s = VStream(stream_of[t as usize]);
+            prop_assert_eq!(w.complete(s, t), o.complete(t), "newly active after {t}");
+            prop_assert_eq!(w.active(), o.active(), "active() after complete({t})");
+            steps += 1;
+            prop_assert!(steps <= ops.len(), "drained more ops than pushed");
+        }
+        prop_assert!(o.is_empty());
+    }
+
+    /// With forward dependencies in the mix, wait cycles become possible;
+    /// both implementations must reject exactly the same pushes and agree
+    /// on all state in between.
+    #[test]
+    fn waitlist_cycle_rejection_matches_oracle(
+        ops in proptest::collection::vec((0u32..4, 0u32..3, any::<u64>()), 2..30),
+        drive in any::<u64>(),
+    ) {
+        let mut w = Waitlist::new();
+        let mut o = StreamOracle::new();
+        let mut stream_of = std::collections::HashMap::new();
+        let mut rejected = 0usize;
+        for (i, &(stream, dep_mode, dep_pick)) in ops.iter().enumerate() {
+            let kind = kind_of(stream);
+            w.declare_stream(VStream(stream), kind);
+            let token = i as u64;
+            let deps: Vec<u64> = match dep_mode {
+                // Forward dep on a token up to 3 ahead (may never arrive).
+                0 => vec![token + 1 + dep_pick % 3],
+                1 if i > 0 => vec![dep_pick % i as u64],
+                _ => Vec::new(),
+            };
+            let got = w.push_with_deps(VStream(stream), token, &deps);
+            let want = o.push(stream, kind, token, &deps);
+            prop_assert_eq!(
+                got.is_err(), want.is_err(),
+                "cycle verdict for push({token}) deps {deps:?}: waitlist {got:?}, oracle {want:?}"
+            );
+            if let (Ok(a), Ok(b)) = (got, want) {
+                prop_assert_eq!(a, b, "push({token}) activity");
+                stream_of.insert(token, stream);
+            } else {
+                rejected += 1;
+            }
+            prop_assert_eq!(w.active(), o.active(), "active() after push({token})");
+        }
+        // Drain whatever can still run; ops stuck on never-pushed forward
+        // deps legitimately remain, but both sides must agree they do.
+        let mut seed = drive;
+        loop {
+            let active = w.active();
+            prop_assert_eq!(&active, &o.active());
+            if active.is_empty() {
+                break;
+            }
+            let t = active[(nx(&mut seed) as usize) % active.len()];
+            let s = VStream(stream_of[&t]);
+            prop_assert_eq!(w.complete(s, t), o.complete(t), "newly active after {t}");
+        }
+        prop_assert_eq!(w.len(), o.len(), "stuck op count ({rejected} pushes rejected)");
+    }
+
+    /// Valid placement/completion scripts: the occupancy tracker's mirror
+    /// equals the conservation oracle's ground truth after every event.
+    #[test]
+    fn occupancy_matches_conservation_oracle(
+        kernels in proptest::collection::vec((1u32..=24, any::<bool>()), 1..8),
+        script in proptest::collection::vec(any::<u64>(), 10..80),
+    ) {
+        const NUM_SMS: u32 = 4;
+        let mut t = OccupancyTracker::new(NUM_SMS, SmLimits::TURING);
+        let mut o = ConservationOracle::new(NUM_SMS, SmLimits::TURING);
+        // Test-local ground truth used only to *generate* valid events.
+        struct K { fp: BlockFootprint, total: u32, placed: u32, per_sm: [u32; NUM_SMS as usize] }
+        let mut ks: Vec<K> = Vec::new();
+        for (uid, &(blocks, big)) in kernels.iter().enumerate() {
+            let fp = if big { big_fp() } else { small_fp() };
+            t.on_launch(uid as u32, fp, blocks);
+            o.on_launch(uid as u32, fp, blocks);
+            ks.push(K { fp, total: blocks, placed: 0, per_sm: [0; NUM_SMS as usize] });
+            prop_assert!(o.verify(&t).is_ok(), "after launch {uid}: {:?}", o.verify(&t));
+        }
+        for &word in &script {
+            let mut seed = word;
+            let place = nx(&mut seed).is_multiple_of(2);
+            let mut acted = false;
+            if place {
+                // Place up to 4 blocks of some kernel on the first SM (from
+                // a random start) with room.
+                let ki = (nx(&mut seed) as usize) % ks.len();
+                let uid = ki as u32;
+                let remaining = ks[ki].total - ks[ki].placed;
+                if remaining > 0 {
+                    let start = nx(&mut seed) % u64::from(NUM_SMS);
+                    for off in 0..NUM_SMS {
+                        let sm = ((start + u64::from(off)) % u64::from(NUM_SMS)) as u8;
+                        let fit = o.sm_usage(sm).fit_count(&ks[ki].fp, &SmLimits::TURING);
+                        let g = remaining.min(fit).min(1 + (nx(&mut seed) % 4) as u32);
+                        if g > 0 {
+                            t.on_notification(Notification::placement(sm, uid, g as u16));
+                            o.on_placement(sm, uid, g as u16);
+                            ks[ki].placed += g;
+                            ks[ki].per_sm[sm as usize] += g;
+                            acted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !acted {
+                // Complete some resident group instead.
+                let ki = (nx(&mut seed) as usize) % ks.len();
+                let uid = ki as u32;
+                for off in 0..NUM_SMS {
+                    let sm = ((nx(&mut seed) + u64::from(off)) % u64::from(NUM_SMS)) as u8;
+                    let on_sm = ks[ki].per_sm[sm as usize];
+                    if on_sm > 0 {
+                        let g = 1 + (nx(&mut seed) % u64::from(on_sm)) as u32;
+                        t.on_notification(Notification::completion(sm, uid, g as u16));
+                        o.on_completion(sm, uid, g as u16);
+                        ks[ki].per_sm[sm as usize] -= g;
+                        // A fully-completed kernel is dropped by both sides;
+                        // re-launching the uid is out of scope, so just let
+                        // its ground truth go stale at zero.
+                        break;
+                    }
+                }
+            }
+            let check = o.verify(&t);
+            prop_assert!(check.is_ok(), "mirror diverged: {}", check.unwrap_err());
+        }
+        // Host-side reconciliation drains everything that remains.
+        for uid in 0..ks.len() as u32 {
+            t.on_kernel_completed(uid);
+            o.on_kernel_completed(uid);
+        }
+        prop_assert!(o.verify(&t).is_ok());
+        prop_assert_eq!(t.unplaced_blocks(), 0);
+        prop_assert_eq!(t.resident_blocks(), 0);
+        prop_assert_eq!(t.tracked_kernels(), 0);
+    }
+
+    /// Adversarial notifications — wrong uids, absurd group counts, random
+    /// SMs, duplicated completions — must never push the tracker past the
+    /// Table-1 safety bounds, thanks to its clamping.
+    #[test]
+    fn occupancy_stays_safe_under_garbage(
+        events in proptest::collection::vec(
+            (any::<bool>(), 0u8..4, 0u32..8, 0u16..512, 0u32..20),
+            1..120,
+        ),
+    ) {
+        const NUM_SMS: u32 = 4;
+        let mut t = OccupancyTracker::new(NUM_SMS, SmLimits::TURING);
+        let mut next_uid = 100u32; // launches use a disjoint uid space
+        for (i, &(is_completion, sm, uid, group, launch_blocks)) in events.iter().enumerate() {
+            match i % 5 {
+                // Periodically launch a real kernel so clamps have targets.
+                0 if launch_blocks > 0 => {
+                    t.on_launch(next_uid, small_fp(), launch_blocks);
+                    next_uid += 1;
+                }
+                // And periodically reconcile one away.
+                4 => t.on_kernel_completed(100 + u32::from(group % 8)),
+                _ => {
+                    // Garbage word: uid may be unknown, recently launched,
+                    // or already gone; the group count is unconstrained.
+                    let target = if uid < 4 { 100 + uid } else { uid };
+                    let n = if is_completion {
+                        Notification::completion(sm, target, group)
+                    } else {
+                        Notification::placement(sm, target, group)
+                    };
+                    t.on_notification(n);
+                }
+            }
+            let safe = ConservationOracle::check_safety(&t, NUM_SMS, &SmLimits::TURING);
+            prop_assert!(safe.is_ok(), "event {i} broke safety: {}", safe.unwrap_err());
+        }
+    }
+}

@@ -263,6 +263,8 @@ impl Job {
     /// The real stream backing op `token`.
     fn real_stream(&self, token: u64) -> StreamId {
         let vs = self.op_vstreams[token as usize];
+        // invariant: vstreams is the sorted dedup of op_vstreams, built from
+        // the same ops vector at ingest, so every op's vstream is present.
         let idx = self
             .vstreams
             .binary_search(&vs)
@@ -417,12 +419,30 @@ impl Dispatcher {
 
     /// Registers a model, applying the instrumentation pass if configured,
     /// and bootstrapping its profile ("a series of simple profiling runs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's multi-stream schedule contains a
+    /// stream/dependency wait cycle: every job of such a model would wedge
+    /// at ingest, so the bad artifact is rejected once, here, where the
+    /// failure names the model.
     pub fn register_model(&mut self, model: &CompiledModel) -> ModelId {
         let compiled = if self.cfg.instrument {
             instrumented(model, InstrumentationSpec::default())
         } else {
             model.clone()
         };
+        if let Some(sched) = &compiled.schedule {
+            let mut scratch = Waitlist::new();
+            for token in 0..compiled.ops.len() {
+                let deps: Vec<u64> = sched.deps[token].iter().map(|&d| d as u64).collect();
+                if let Err(e) =
+                    scratch.push_with_deps(VStream(sched.streams[token]), token as u64, &deps)
+                {
+                    panic!("model {:?}: unschedulable stream plan: {e}", compiled.name);
+                }
+            }
+        }
         let profile = bootstrap_profile(model);
         let uncontended = paella_models_measure(&compiled, self.gpu.config());
         let id = ModelId(self.models.len() as u32);
@@ -512,6 +532,8 @@ impl Dispatcher {
                 }
                 self.gpu_out = buf;
             } else {
+                // invariant: this branch is taken only when next_event_time
+                // peeked a host event, and nothing pops between peek and here.
                 let (at, ev) = self.events.pop().expect("peeked event");
                 self.now = self.now.max(at);
                 match ev {
@@ -548,6 +570,8 @@ impl Dispatcher {
                 ("resident_blocks", resident),
                 ("occupancy_pct", occupancy_pct),
             ];
+            // invariant: the is_none() guard at function entry returned, and
+            // nothing in this loop clears the registry.
             let m = self.metrics.as_mut().expect("checked above");
             for (name, value) in samples {
                 m.sample(name, at, value);
@@ -678,7 +702,13 @@ impl Dispatcher {
                     _ => (1, Vec::new()),
                 };
                 op_vstreams.push(vs);
-                if waitlist.push_with_deps(VStream(vs), token as u64, &deps) {
+                // invariant: register_model replayed this exact schedule
+                // through a scratch waitlist and panicked on cycles, so every
+                // ingest-time push is admissible.
+                let active = waitlist
+                    .push_with_deps(VStream(vs), token as u64, &deps)
+                    .expect("schedule validated at registration");
+                if active {
                     initially_active.push(token as u64);
                 }
             }
@@ -740,6 +770,8 @@ impl Dispatcher {
                 .collect(),
             StreamPolicy::Pool(_) => {
                 if self.free_streams.len() >= want {
+                    // invariant: the len() >= want guard above bounds the
+                    // number of pops.
                     (0..want)
                         .map(|_| self.free_streams.pop().expect("checked"))
                         .collect()
@@ -764,6 +796,8 @@ impl Dispatcher {
             // on the device enforces execution order.
             self.dispatch_op(id, token, ready, true);
         }
+        // invariant: callers pass an id freshly inserted into self.jobs, and
+        // dispatch_op never removes the job.
         let j = self.jobs.get_mut(&id).expect("job exists");
         j.active_undispatched.clear();
         j.last_dispatched = true;
@@ -781,6 +815,8 @@ impl Dispatcher {
             match j.ops[token as usize] {
                 OpKind::Kernel(_) => return,
                 OpKind::H2D(_) | OpKind::D2H(_) => {
+                    // invariant: the get() at loop top just returned Some for
+                    // this id.
                     let j = self.jobs.get_mut(&id).expect("job exists");
                     j.active_undispatched.pop_front();
                     self.dispatch_op(id, token, ready, false);
@@ -825,10 +861,13 @@ impl Dispatcher {
                         dir,
                     },
                 );
+                // invariant: the indexing borrow of self.jobs[&id] at function
+                // entry proved the job present; nothing above removes it.
                 let j = self.jobs.get_mut(&id).expect("job exists");
                 j.outstanding += 1;
                 j.framework += self.channels.cuda.memcpy_overhead;
                 if self.is_last_op(id, token) {
+                    // invariant: same job as two lines up.
                     self.jobs.get_mut(&id).expect("job").last_dispatched = true;
                 }
             }
@@ -846,6 +885,8 @@ impl Dispatcher {
                 let desc = {
                     let j = &self.jobs[&id];
                     let m = &self.models[j.request.model.0 as usize].model;
+                    // invariant: ingest derived `loc` by enumerating this
+                    // same model's kernels, and models are append-only.
                     m.kernels().nth(loc).expect("kernel location").clone()
                 };
                 {
@@ -878,6 +919,8 @@ impl Dispatcher {
                 self.gpu
                     .launch_kernel(at, KernelLaunch { uid, stream, desc });
                 let last = self.is_last_op(id, token);
+                // invariant: the indexing borrow of self.jobs[&id] at function
+                // entry proved the job present; nothing above removes it.
                 let j = self.jobs.get_mut(&id).expect("job exists");
                 j.outstanding += 1;
                 j.done_counts[loc] += 1;
@@ -950,6 +993,8 @@ impl Dispatcher {
                 let (fp, blocks) = {
                     let j = &self.jobs[&job];
                     let m = &self.models[j.request.model.0 as usize].model;
+                    // invariant: `loc` was enumerated from this model's
+                    // kernels at ingest (see dispatch_op).
                     let k = m.kernels().nth(loc).expect("kernel loc");
                     (k.footprint, k.grid_blocks)
                 };
@@ -995,6 +1040,8 @@ impl Dispatcher {
             }
             self.scheduler.on_dispatched(job);
             {
+                // invariant: the next_active() guard at loop top returned
+                // Some for this job, so it is still in self.jobs.
                 let j = self.jobs.get_mut(&job).expect("job exists");
                 j.active_undispatched.pop_front();
             }
@@ -1183,6 +1230,8 @@ impl Dispatcher {
     }
 
     fn finish_job(&mut self, id: JobId, device_done: SimTime) {
+        // invariant: the only caller just indexed self.jobs[&id] to test
+        // done(), and jobs are removed nowhere else.
         let j = self.jobs.remove(&id).expect("finishing unknown job");
         self.scheduler.job_done(id);
         if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
@@ -1205,6 +1254,7 @@ impl Dispatcher {
                     break;
                 }
                 self.stream_waiters.pop_front();
+                // invariant: the len() < want break above bounds the pops.
                 let streams: Vec<StreamId> = (0..want)
                     .map(|_| self.free_streams.pop().expect("checked"))
                     .collect();

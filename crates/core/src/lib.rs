@@ -37,4 +37,4 @@ pub use sched::{
 };
 pub use serve::ServingSystem;
 pub use types::{ClientId, InferenceRequest, JobCompletion, JobId, LatencyBreakdown, ModelId};
-pub use waitlist::{OpToken, StreamKind, VStream, Waitlist};
+pub use waitlist::{OpToken, StreamKind, VStream, Waitlist, WaitlistError};

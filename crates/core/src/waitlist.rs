@@ -14,8 +14,17 @@
 //!
 //! Completion of an operation (or, in Paella's pipelined mode, its full
 //! placement) *releases* it, activating successors.
+//!
+//! `cudaStreamWaitEvent`-style cross-stream joins can express circular waits
+//! (op A waits for op B which — through dependency or stream-ordering edges
+//! — waits for op A). On real CUDA such a schedule hangs the device; here it
+//! would wedge the job forever with no active ops. [`Waitlist::push`] and
+//! [`Waitlist::push_with_deps`] therefore reject any op that would close a
+//! wait cycle with [`WaitlistError::DepCycle`] instead of admitting a
+//! guaranteed deadlock.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
 
 /// How a (virtual) stream interacts with the default stream.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +49,31 @@ impl VStream {
 /// An opaque operation token supplied by the caller.
 pub type OpToken = u64;
 
+/// Why the waitlist refused an operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitlistError {
+    /// Admitting the op would close a wait cycle (through explicit
+    /// dependencies and/or stream-ordering edges): no order of releases
+    /// could ever activate it, so the job would deadlock at issue time.
+    DepCycle {
+        /// The token whose push completed the cycle.
+        token: OpToken,
+    },
+}
+
+impl fmt::Display for WaitlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitlistError::DepCycle { token } => write!(
+                f,
+                "op {token} closes a stream/dependency wait cycle (guaranteed deadlock)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WaitlistError {}
+
 #[derive(Clone, Debug)]
 struct Entry {
     token: OpToken,
@@ -59,8 +93,8 @@ struct Entry {
 ///
 /// let mut w = Waitlist::new();
 /// let s = VStream(1);
-/// assert!(w.push(s, 0), "first op on a stream is active");
-/// assert!(!w.push(s, 1), "second waits behind it");
+/// assert!(w.push(s, 0).unwrap(), "first op on a stream is active");
+/// assert!(!w.push(s, 1).unwrap(), "second waits behind it");
 /// assert_eq!(w.complete(s, 0), vec![1], "completion activates the next");
 /// ```
 #[derive(Debug, Default)]
@@ -104,14 +138,34 @@ impl Waitlist {
 
     /// Intercepts an operation issued on stream `s` (Fig. 7's
     /// `kernelLaunch`). Returns whether the op is immediately *active*.
-    pub fn push(&mut self, s: VStream, token: OpToken) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`WaitlistError::DepCycle`] if admitting the op would close a wait
+    /// cycle — possible even without explicit deps, when an earlier op holds
+    /// a forward dependency on this token (see
+    /// [`push_with_deps`](Self::push_with_deps)); the op is not admitted.
+    pub fn push(&mut self, s: VStream, token: OpToken) -> Result<bool, WaitlistError> {
         self.push_with_deps(s, token, &[])
     }
 
     /// Like [`push`](Self::push), but the op additionally waits for every
     /// token in `deps` to be *released* before becoming active — the
-    /// `cudaStreamWaitEvent` pattern for cross-stream joins.
-    pub fn push_with_deps(&mut self, s: VStream, token: OpToken, deps: &[OpToken]) -> bool {
+    /// `cudaStreamWaitEvent` pattern for cross-stream joins. A dep naming a
+    /// token not pushed yet is a *forward* dependency: it stays unsatisfied
+    /// until that token is pushed and released.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitlistError::DepCycle`] if the op would close a wait cycle
+    /// through dependency and/or stream-ordering edges; the waitlist is left
+    /// exactly as it was before the call.
+    pub fn push_with_deps(
+        &mut self,
+        s: VStream,
+        token: OpToken,
+        deps: &[OpToken],
+    ) -> Result<bool, WaitlistError> {
         let kind = self.kind(s);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -133,7 +187,117 @@ impl Waitlist {
         });
         let pos = q.len() - 1;
         self.len += 1;
-        self.entry_active(s, pos)
+        if self.closes_wait_cycle(token) {
+            // Roll the insertion back so the waitlist state is untouched.
+            let q = self.streams.get_mut(&s).expect("stream inserted above");
+            q.pop_back();
+            if q.is_empty() {
+                self.streams.remove(&s);
+            }
+            match kind {
+                StreamKind::Default => {
+                    self.default_unreleased.remove(&seq);
+                }
+                StreamKind::Blocking => {
+                    self.blocking_unreleased.remove(&seq);
+                }
+                StreamKind::NonBlocking => {}
+            }
+            self.len -= 1;
+            self.next_seq -= 1;
+            return Err(WaitlistError::DepCycle { token });
+        }
+        Ok(self.entry_active(s, pos))
+    }
+
+    /// Whether the just-pushed `new_token` sits on a wait cycle.
+    ///
+    /// Builds the waits-on graph over all *unreleased* entries — in-stream
+    /// predecessor edges, unsatisfied explicit deps, and the
+    /// default↔blocking serialization edges — and searches for a path from
+    /// the new entry back to itself. Every push is checked, so any cycle
+    /// must pass through the newest node; O(n²) in tracked ops, which is
+    /// per-job small.
+    fn closes_wait_cycle(&self, new_token: OpToken) -> bool {
+        struct Node {
+            stream: VStream,
+            seq: u64,
+            deps: Vec<OpToken>,
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut by_token: HashMap<OpToken, usize> = HashMap::new();
+        for (&s, q) in &self.streams {
+            for e in q {
+                if !e.released {
+                    // Duplicate tokens: last push wins, matching the newest
+                    // entry (the one under test).
+                    by_token.insert(e.token, nodes.len());
+                    nodes.push(Node {
+                        stream: s,
+                        seq: e.seq,
+                        deps: e.deps.clone(),
+                    });
+                }
+            }
+        }
+        let start = by_token[&new_token];
+        let successors = |i: usize| -> Vec<usize> {
+            let n = &nodes[i];
+            let mut out = Vec::new();
+            // In-stream: waits on the immediately preceding unreleased op
+            // (whose own predecessor edge covers the rest of the chain).
+            let mut prev: Option<usize> = None;
+            for (j, m) in nodes.iter().enumerate() {
+                if j != i
+                    && m.stream == n.stream
+                    && m.seq < n.seq
+                    && prev.is_none_or(|p| nodes[p].seq < m.seq)
+                {
+                    prev = Some(j);
+                }
+            }
+            if let Some(p) = prev {
+                out.push(p);
+            }
+            for d in &n.deps {
+                if !self.released_tokens.contains(d) {
+                    if let Some(&j) = by_token.get(d) {
+                        out.push(j);
+                    }
+                }
+            }
+            match self.kind(n.stream) {
+                StreamKind::Default => {
+                    for (j, m) in nodes.iter().enumerate() {
+                        if m.seq < n.seq && self.kind(m.stream) == StreamKind::Blocking {
+                            out.push(j);
+                        }
+                    }
+                }
+                StreamKind::Blocking => {
+                    for (j, m) in nodes.iter().enumerate() {
+                        if m.seq < n.seq && self.kind(m.stream) == StreamKind::Default {
+                            out.push(j);
+                        }
+                    }
+                }
+                StreamKind::NonBlocking => {}
+            }
+            out
+        };
+        let mut visited = vec![false; nodes.len()];
+        let mut stack = successors(start);
+        while let Some(i) = stack.pop() {
+            if i == start {
+                return true;
+            }
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            stack.extend(successors(i));
+        }
+        false
     }
 
     fn entry_active(&self, s: VStream, pos: usize) -> bool {
@@ -254,13 +418,18 @@ impl Waitlist {
 mod tests {
     use super::*;
 
+    /// `push` that must not cycle, for tests exercising ordering only.
+    fn push(w: &mut Waitlist, s: VStream, t: OpToken) -> bool {
+        w.push(s, t).unwrap()
+    }
+
     #[test]
     fn single_stream_fifo() {
         let mut w = Waitlist::new();
         let s = VStream(1);
-        assert!(w.push(s, 10), "first op active");
-        assert!(!w.push(s, 11), "second op inactive behind first");
-        assert!(!w.push(s, 12));
+        assert!(push(&mut w, s, 10), "first op active");
+        assert!(!push(&mut w, s, 11), "second op inactive behind first");
+        assert!(!push(&mut w, s, 12));
         assert_eq!(w.active(), vec![10]);
         assert_eq!(w.complete(s, 10), vec![11]);
         assert_eq!(w.complete(s, 11), vec![12]);
@@ -271,8 +440,8 @@ mod tests {
     #[test]
     fn independent_blocking_streams_are_concurrent() {
         let mut w = Waitlist::new();
-        assert!(w.push(VStream(1), 1));
-        assert!(w.push(VStream(2), 2));
+        assert!(push(&mut w, VStream(1), 1));
+        assert!(push(&mut w, VStream(2), 2));
         assert_eq!(w.active(), vec![1, 2]);
     }
 
@@ -281,8 +450,8 @@ mod tests {
         // Fig. 7 line 4: a blocking-stream launch is inactive while stream 0
         // has earlier kernels.
         let mut w = Waitlist::new();
-        assert!(w.push(VStream::DEFAULT, 1));
-        assert!(!w.push(VStream(1), 2), "blocked behind stream 0");
+        assert!(push(&mut w, VStream::DEFAULT, 1));
+        assert!(!push(&mut w, VStream(1), 2), "blocked behind stream 0");
         assert_eq!(w.active(), vec![1]);
         assert_eq!(w.complete(VStream::DEFAULT, 1), vec![2]);
     }
@@ -292,8 +461,8 @@ mod tests {
         // Fig. 7 line 2: a stream-0 launch is inactive while blocking
         // streams have earlier kernels.
         let mut w = Waitlist::new();
-        assert!(w.push(VStream(1), 1));
-        assert!(!w.push(VStream::DEFAULT, 2), "stream 0 blocked");
+        assert!(push(&mut w, VStream(1), 1));
+        assert!(!push(&mut w, VStream::DEFAULT, 2), "stream 0 blocked");
         assert_eq!(w.complete(VStream(1), 1), vec![2]);
     }
 
@@ -301,21 +470,24 @@ mod tests {
     fn nonblocking_stream_ignores_default() {
         let mut w = Waitlist::new();
         w.declare_stream(VStream(7), StreamKind::NonBlocking);
-        assert!(w.push(VStream::DEFAULT, 1));
-        assert!(w.push(VStream(7), 2), "non-blocking stream unaffected");
+        assert!(push(&mut w, VStream::DEFAULT, 1));
+        assert!(
+            push(&mut w, VStream(7), 2),
+            "non-blocking stream unaffected"
+        );
         // And stream 0 is likewise unaffected by the non-blocking stream.
         let mut w2 = Waitlist::new();
         w2.declare_stream(VStream(7), StreamKind::NonBlocking);
-        assert!(w2.push(VStream(7), 1));
-        assert!(w2.push(VStream::DEFAULT, 2));
+        assert!(push(&mut w2, VStream(7), 1));
+        assert!(push(&mut w2, VStream::DEFAULT, 2));
     }
 
     #[test]
     fn release_pipelines_successor_while_running() {
         let mut w = Waitlist::new();
         let s = VStream(1);
-        w.push(s, 1);
-        w.push(s, 2);
+        push(&mut w, s, 1);
+        push(&mut w, s, 2);
         // Release (placement seen) without retiring: successor activates,
         // but the op still counts toward len().
         assert_eq!(w.release(s, 1), vec![2]);
@@ -331,8 +503,8 @@ mod tests {
     fn out_of_order_release_panics() {
         let mut w = Waitlist::new();
         let s = VStream(1);
-        w.push(s, 1);
-        w.push(s, 2);
+        push(&mut w, s, 1);
+        push(&mut w, s, 2);
         let _ = w.release(s, 2);
     }
 
@@ -340,7 +512,7 @@ mod tests {
     #[should_panic(expected = "was not released")]
     fn retire_before_release_panics() {
         let mut w = Waitlist::new();
-        w.push(VStream(1), 1);
+        push(&mut w, VStream(1), 1);
         w.retire(VStream(1), 1);
     }
 
@@ -348,7 +520,7 @@ mod tests {
     fn multi_stream_interleaving() {
         let mut w = Waitlist::new();
         for (s, t) in [(1, 10), (1, 11), (2, 20), (2, 21)] {
-            w.push(VStream(s), t);
+            push(&mut w, VStream(s), t);
         }
         assert_eq!(w.active(), vec![10, 20]);
         w.complete(VStream(1), 10);
@@ -363,9 +535,12 @@ mod tests {
         // Issue order: blocking op 1, stream-0 op 2, blocking op 3.
         // Op 2 waits only on op 1; op 3 waits on op 2.
         let mut w = Waitlist::new();
-        assert!(w.push(VStream(1), 1));
-        assert!(!w.push(VStream::DEFAULT, 2));
-        assert!(!w.push(VStream(2), 3), "issued after a default-stream op");
+        assert!(push(&mut w, VStream(1), 1));
+        assert!(!push(&mut w, VStream::DEFAULT, 2));
+        assert!(
+            !push(&mut w, VStream(2), 3),
+            "issued after a default-stream op"
+        );
         // Completing op 1 activates op 2 but not op 3.
         assert_eq!(w.complete(VStream(1), 1), vec![2]);
         assert_eq!(w.active(), vec![2]);
@@ -378,8 +553,8 @@ mod tests {
         // Stream-0 op issued first is active even though blocking work was
         // issued afterwards.
         let mut w = Waitlist::new();
-        assert!(w.push(VStream::DEFAULT, 1));
-        assert!(!w.push(VStream(1), 2));
+        assert!(push(&mut w, VStream::DEFAULT, 1));
+        assert!(!push(&mut w, VStream(1), 2));
         assert_eq!(w.active(), vec![1]);
     }
 
@@ -388,10 +563,10 @@ mod tests {
         // Branch-join: ops 1 and 2 on parallel streams; op 3 on stream 3
         // waits for both (cudaStreamWaitEvent-style).
         let mut w = Waitlist::new();
-        assert!(w.push(VStream(1), 1));
-        assert!(w.push(VStream(2), 2));
+        assert!(push(&mut w, VStream(1), 1));
+        assert!(push(&mut w, VStream(2), 2));
         assert!(
-            !w.push_with_deps(VStream(3), 3, &[1, 2]),
+            !w.push_with_deps(VStream(3), 3, &[1, 2]).unwrap(),
             "join waits for both"
         );
         assert_eq!(w.complete(VStream(1), 1), Vec::<OpToken>::new());
@@ -408,10 +583,10 @@ mod tests {
     #[test]
     fn dependency_on_already_released_op_is_satisfied() {
         let mut w = Waitlist::new();
-        w.push(VStream(1), 1);
+        push(&mut w, VStream(1), 1);
         w.complete(VStream(1), 1);
         assert!(
-            w.push_with_deps(VStream(2), 2, &[1]),
+            w.push_with_deps(VStream(2), 2, &[1]).unwrap(),
             "dep already released"
         );
     }
@@ -421,9 +596,9 @@ mod tests {
         // Op 11 on stream 1 waits for op 20 on stream 2 AND for op 10 ahead
         // of it on its own stream.
         let mut w = Waitlist::new();
-        w.push(VStream(1), 10);
-        w.push(VStream(2), 20);
-        assert!(!w.push_with_deps(VStream(1), 11, &[20]));
+        push(&mut w, VStream(1), 10);
+        push(&mut w, VStream(2), 20);
+        assert!(!w.push_with_deps(VStream(1), 11, &[20]).unwrap());
         w.complete(VStream(2), 20);
         assert!(!w.active().contains(&11), "still behind op 10 in-stream");
         assert_eq!(w.complete(VStream(1), 10), vec![11]);
@@ -432,10 +607,82 @@ mod tests {
     #[test]
     fn release_reports_only_newly_activated() {
         let mut w = Waitlist::new();
-        w.push(VStream(1), 1);
-        w.push(VStream(2), 2); // already active
-        w.push(VStream(1), 3);
+        push(&mut w, VStream(1), 1);
+        push(&mut w, VStream(2), 2); // already active
+        push(&mut w, VStream(1), 3);
         let newly = w.complete(VStream(1), 1);
         assert_eq!(newly, vec![3], "op 2 was already active, must not repeat");
+    }
+
+    #[test]
+    fn two_op_dep_cycle_rejected() {
+        // Op 1 waits for op 2 (forward dep); pushing op 2 with a dep back on
+        // op 1 closes the cycle — cudaStreamWaitEvent deadlock, caught at
+        // issue time.
+        let mut w = Waitlist::new();
+        assert!(
+            !w.push_with_deps(VStream(1), 1, &[2]).unwrap(),
+            "forward dep leaves op 1 inactive"
+        );
+        assert_eq!(
+            w.push_with_deps(VStream(2), 2, &[1]),
+            Err(WaitlistError::DepCycle { token: 2 })
+        );
+        // The rejected op left no trace: op 2 can still be pushed cleanly.
+        assert_eq!(w.len(), 1);
+        assert!(push(&mut w, VStream(2), 2), "clean push after rollback");
+        assert_eq!(w.complete(VStream(2), 2), vec![1], "dep now satisfied");
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut w = Waitlist::new();
+        assert_eq!(
+            w.push_with_deps(VStream(1), 7, &[7]),
+            Err(WaitlistError::DepCycle { token: 7 })
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn plain_push_can_close_a_cycle() {
+        // Op 1 holds a forward dep on token 2; a *plain* push of token 2
+        // behind op 1 on the same stream closes the loop (2 waits on 1
+        // in-stream, 1 waits on 2 by dep).
+        let mut w = Waitlist::new();
+        assert!(!w.push_with_deps(VStream(1), 1, &[2]).unwrap());
+        assert_eq!(
+            w.push(VStream(1), 2),
+            Err(WaitlistError::DepCycle { token: 2 })
+        );
+        // On its own stream the same token is fine.
+        assert!(w.push(VStream(2), 2).unwrap());
+    }
+
+    #[test]
+    fn cycle_through_stream_ordering_edges_rejected() {
+        // Dep + default↔blocking serialization cycle: blocking op 1 deps on
+        // token 2; a stream-0 op 2 issued later waits on op 1 through the
+        // default-stream serialization edge, and op 1 waits on op 2 by dep.
+        let mut w = Waitlist::new();
+        assert!(!w.push_with_deps(VStream(1), 1, &[2]).unwrap());
+        assert_eq!(
+            w.push(VStream::DEFAULT, 2),
+            Err(WaitlistError::DepCycle { token: 2 })
+        );
+        // A non-blocking stream carries no serialization edge: no cycle.
+        w.declare_stream(VStream(9), StreamKind::NonBlocking);
+        assert!(w.push(VStream(9), 2).unwrap());
+    }
+
+    #[test]
+    fn dep_on_released_token_never_cycles() {
+        let mut w = Waitlist::new();
+        push(&mut w, VStream(1), 2);
+        w.complete(VStream(1), 2);
+        // Token 2 is released; a new op 1 deps on it, then token 2 is reused
+        // behind op 1 — the released dep is satisfied, no cycle.
+        assert!(w.push_with_deps(VStream(3), 1, &[2]).unwrap());
+        assert!(w.push(VStream(4), 2).is_ok());
     }
 }

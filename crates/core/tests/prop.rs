@@ -20,7 +20,7 @@ proptest! {
         let mut w = Waitlist::new();
         let s = VStream(1);
         for t in 0..n as u64 {
-            let active = w.push(s, t);
+            let active = w.push(s, t).unwrap();
             prop_assert_eq!(active, t == 0, "only the first op starts active");
         }
         for t in 0..n as u64 {
@@ -47,7 +47,7 @@ proptest! {
             // Avoid stream 0 (default-stream serialization is tested
             // separately); streams 1..=6.
             let vs = VStream(s + 1);
-            w.push(vs, i as u64);
+            w.push(vs, i as u64).unwrap();
             pushed.push((vs, i as u64));
         }
         // At most one active per stream.
