@@ -1,0 +1,68 @@
+//! Cluster figure: goodput and tail latency per routing policy over the
+//! multi-node serving tier, swept across offered load and fleet size on a
+//! Zipf-skewed model mix.
+//!
+//! `--smoke` runs exactly the committed smoke configuration (the one the
+//! integration tests pin): 4 nodes, 4 models, ~75% of fleet capacity, all
+//! four policies. Same seed ⇒ bit-identical output.
+
+use paella_bench::{header, row, scaled};
+use paella_cluster::RoutingPolicy;
+use paella_workload::{run_cluster_point, smoke_models, ClusterExpSpec};
+
+const POLICIES: [RoutingPolicy; 4] = [
+    RoutingPolicy::RoundRobin,
+    RoutingPolicy::Jsq,
+    RoutingPolicy::PowerOfTwoChoices,
+    RoutingPolicy::LeastRemainingWork,
+];
+
+fn print_point(nodes: usize, policy: RoutingPolicy, spec: &ClusterExpSpec) {
+    let r = run_cluster_point(&smoke_models(), spec);
+    row(&[
+        nodes.to_string(),
+        policy.as_str().to_string(),
+        format!("{:.0}", r.offered),
+        r.row(),
+    ]);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    header(
+        "Figure C (cluster)",
+        "goodput and p99 JCT per routing policy, Zipf-skewed 4-model mix",
+    );
+    row(&[
+        "nodes".into(),
+        "policy".into(),
+        "offered_req_per_s".into(),
+        "throughput_req_per_s,goodput_req_per_s,p99_us,mean_us".into(),
+    ]);
+    if smoke {
+        // The committed configuration, verbatim — CI checks this output is
+        // deterministic and the tests assert the policy ordering on it.
+        for policy in POLICIES {
+            let spec = ClusterExpSpec::smoke(policy);
+            print_point(spec.nodes, policy, &spec);
+        }
+        return;
+    }
+    // Full sweep: fleet size x offered load (per node, so the x-axis is
+    // comparable across fleet sizes) x policy.
+    let requests = scaled(700);
+    for &nodes in &[2usize, 4, 8] {
+        for &rate_per_node in &[800.0, 1_100.0, 1_300.0, 1_450.0] {
+            for policy in POLICIES {
+                let spec = ClusterExpSpec {
+                    nodes,
+                    rate_per_sec: rate_per_node * nodes as f64,
+                    requests,
+                    warmup: requests / 7,
+                    ..ClusterExpSpec::smoke(policy)
+                };
+                print_point(nodes, policy, &spec);
+            }
+        }
+    }
+}

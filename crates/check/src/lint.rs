@@ -5,18 +5,18 @@
 //! tokenization of each source file:
 //!
 //! * **R1 `no-wall-clock`** — the simulation stack (`crates/sim`,
-//!   `crates/core`, `crates/gpu`) runs on virtual time; `Instant` and
-//!   `SystemTime` are banned outright. Wall-clock reads there silently break
-//!   determinism and reproducibility of every experiment.
+//!   `crates/core`, `crates/gpu`, `crates/cluster`) runs on virtual time;
+//!   `Instant` and `SystemTime` are banned outright. Wall-clock reads there
+//!   silently break determinism and reproducibility of every experiment.
 //! * **R2 `relaxed-needs-justification`** — every `Ordering::Relaxed` in
 //!   `crates/channels` must carry a `relaxed:` justification comment (same
 //!   line, or the comment block above the statement). A relaxed access
 //!   with no written argument is exactly where the model checker's mutation
 //!   corpus finds bugs.
-//! * **R3 `hot-path-unwrap`** — the dispatcher hot path
-//!   (`crates/core/src/dispatcher.rs`) must not `unwrap()`; `expect(` is
-//!   allowed only with an `invariant:` comment stating why the value cannot
-//!   be absent.
+//! * **R3 `hot-path-unwrap`** — the per-request hot paths
+//!   (`crates/core/src/dispatcher.rs` and all of `crates/cluster/src`) must
+//!   not `unwrap()`; `expect(` is allowed only with an `invariant:` comment
+//!   stating why the value cannot be absent.
 //! * **R4 `no-thread-sleep`** — `thread::sleep` is banned in library code
 //!   (everything under `crates/*/src` except `crates/bench`): the stack is
 //!   event-driven and virtual-timed, so a sleep is always a latent hang or a
@@ -310,11 +310,17 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
         });
     };
 
-    let sim_stack = ["crates/sim/src/", "crates/core/src/", "crates/gpu/src/"]
-        .iter()
-        .any(|p| path.starts_with(p));
+    let sim_stack = [
+        "crates/sim/src/",
+        "crates/core/src/",
+        "crates/gpu/src/",
+        "crates/cluster/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p));
     let channels = path.starts_with("crates/channels/src/");
-    let dispatcher = path == "crates/core/src/dispatcher.rs";
+    let hot_path =
+        path == "crates/core/src/dispatcher.rs" || path.starts_with("crates/cluster/src/");
     let library =
         path.starts_with("crates/") && path.contains("/src/") && !path.starts_with("crates/bench/");
 
@@ -336,12 +342,12 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
                 "Ordering::Relaxed without a `relaxed:` justification comment".into(),
             );
         }
-        if dispatcher {
+        if hot_path {
             if l.code.contains(".unwrap()") {
                 push(
                     i,
                     "hot-path-unwrap",
-                    "unwrap() on the dispatcher hot path; use expect() with an `invariant:` comment"
+                    "unwrap() on a request hot path; use expect() with an `invariant:` comment"
                         .into(),
                 );
             }
@@ -349,7 +355,7 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
                 push(
                     i,
                     "hot-path-unwrap",
-                    "expect() on the dispatcher hot path without an `invariant:` comment".into(),
+                    "expect() on a request hot path without an `invariant:` comment".into(),
                 );
             }
         }
@@ -471,6 +477,7 @@ mod tests {
         let src = "use std::time::Instant;\n";
         assert_eq!(lint_source("crates/core/src/x.rs", src).len(), 1);
         assert_eq!(lint_source("crates/gpu/src/x.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/cluster/src/router.rs", src).len(), 1);
         assert!(lint_source("crates/channels/src/x.rs", src).is_empty());
     }
 
@@ -515,6 +522,13 @@ mod tests {
         assert_eq!(lint_source("crates/core/src/dispatcher.rs", bare).len(), 1);
         let ok = "fn f(x: Option<u8>) {\n    // invariant: checked by caller\n    x.expect(\"msg\");\n}\n";
         assert!(lint_source("crates/core/src/dispatcher.rs", ok).is_empty());
+
+        // The cluster tier is a hot path too: every file under its src.
+        let v = lint_source("crates/cluster/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hot-path-unwrap");
+        assert_eq!(lint_source("crates/cluster/src/router.rs", bare).len(), 1);
+        assert!(lint_source("crates/cluster/src/router.rs", ok).is_empty());
     }
 
     #[test]

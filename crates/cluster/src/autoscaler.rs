@@ -1,0 +1,211 @@
+//! Backlog-driven autoscaling with modelled cold-start costs.
+//!
+//! The autoscaler watches per-online-node backlog at a fixed virtual-time
+//! cadence and reacts only to *sustained* pressure: a burst shorter than
+//! `sustain` never scales, so the cluster does not thrash on the bursty
+//! arrivals Paella targets. Scaling up is not free — a fresh node pays an
+//! activation delay plus its model weights over the PCIe copy engine before
+//! it can serve — which is exactly why routing policy matters in the window
+//! where the cluster is still under-provisioned.
+
+use paella_sim::{SimDuration, SimTime};
+
+/// Autoscaler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscaleConfig {
+    /// Never drain below this many online nodes.
+    pub min_nodes: usize,
+    /// Never grow beyond this many nodes (online + warming).
+    pub max_nodes: usize,
+    /// Outstanding requests per online node above which the cluster is
+    /// considered backlogged.
+    pub high_watermark: f64,
+    /// Outstanding requests per online node below which the cluster is
+    /// considered over-provisioned.
+    pub low_watermark: f64,
+    /// How long a watermark must hold before the autoscaler acts.
+    pub sustain: SimDuration,
+    /// Evaluation cadence.
+    pub interval: SimDuration,
+    /// Fixed node bring-up cost before weight loading (process launch,
+    /// CUDA context creation).
+    pub activation: SimDuration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min_nodes: 1,
+            max_nodes: 8,
+            high_watermark: 12.0,
+            low_watermark: 2.0,
+            sustain: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(1),
+            activation: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// What the autoscaler decided at one evaluation point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScaleDecision {
+    /// Leave the fleet as is.
+    Hold,
+    /// Bring one node up.
+    Up,
+    /// Drain one node.
+    Down,
+}
+
+/// The sustained-watermark state machine. Pure decision logic — the cluster
+/// owns the mechanics of adding and draining nodes — so it is testable on
+/// its own.
+pub struct Autoscaler {
+    cfg: AutoscaleConfig,
+    over_since: Option<SimTime>,
+    under_since: Option<SimTime>,
+}
+
+impl Autoscaler {
+    /// A fresh state machine.
+    pub fn new(cfg: AutoscaleConfig) -> Self {
+        Autoscaler {
+            cfg,
+            over_since: None,
+            under_since: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.cfg
+    }
+
+    /// Feeds one observation: `outstanding` requests across `online` nodes
+    /// with `active` nodes total (online + warming). Returns the decision.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        outstanding: u64,
+        online: usize,
+        active: usize,
+    ) -> ScaleDecision {
+        if online == 0 {
+            return ScaleDecision::Hold;
+        }
+        let per_node = outstanding as f64 / online as f64;
+        if per_node > self.cfg.high_watermark {
+            self.under_since = None;
+            let since = *self.over_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.cfg.sustain && active < self.cfg.max_nodes {
+                self.over_since = None;
+                return ScaleDecision::Up;
+            }
+        } else if per_node < self.cfg.low_watermark {
+            self.over_since = None;
+            let since = *self.under_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.cfg.sustain && online > self.cfg.min_nodes {
+                self.under_since = None;
+                return ScaleDecision::Down;
+            }
+        } else {
+            self.over_since = None;
+            self.under_since = None;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscaleConfig {
+        AutoscaleConfig {
+            min_nodes: 1,
+            max_nodes: 4,
+            high_watermark: 10.0,
+            low_watermark: 2.0,
+            sustain: SimDuration::from_millis(3),
+            interval: SimDuration::from_millis(1),
+            activation: SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn short_bursts_do_not_scale() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(
+            a.observe(SimTime::from_millis(0), 100, 2, 2),
+            ScaleDecision::Hold
+        );
+        // Backlog cleared before `sustain` elapsed: the streak resets.
+        assert_eq!(
+            a.observe(SimTime::from_millis(1), 10, 2, 2),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(4), 100, 2, 2),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(5), 100, 2, 2),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn sustained_backlog_scales_up_once_per_streak() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(
+            a.observe(SimTime::from_millis(0), 100, 2, 2),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(1), 100, 2, 2),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(3), 100, 2, 2),
+            ScaleDecision::Up
+        );
+        // The streak restarts after acting; no immediate double-fire.
+        assert_eq!(
+            a.observe(SimTime::from_millis(4), 100, 3, 3),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn respects_max_and_min() {
+        let mut a = Autoscaler::new(cfg());
+        for ms in 0..10 {
+            assert_eq!(
+                a.observe(SimTime::from_millis(ms), 1000, 4, 4),
+                ScaleDecision::Hold,
+                "at max_nodes the cluster must hold"
+            );
+        }
+        let mut a = Autoscaler::new(cfg());
+        for ms in 0..10 {
+            assert_eq!(
+                a.observe(SimTime::from_millis(ms), 0, 1, 1),
+                ScaleDecision::Hold,
+                "at min_nodes the cluster must hold"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_idle_scales_down() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(
+            a.observe(SimTime::from_millis(0), 0, 3, 3),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(3), 0, 3, 3),
+            ScaleDecision::Down
+        );
+    }
+}

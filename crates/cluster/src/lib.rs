@@ -1,0 +1,832 @@
+//! The cluster serving tier: N Paella nodes behind a software-defined
+//! router, on one deterministic virtual clock.
+//!
+//! The paper stops at one GPU behind one dispatcher; this crate builds the
+//! layer above it. Each node is a full Paella [`Dispatcher`] over its own
+//! simulated device, reached through the same [`RpcNetModel`] cost model
+//! remote inference uses. A [`ClusterRouter`] balances requests across each
+//! model's replica set — round-robin, JSQ, power-of-two-choices, or the
+//! Paella-native least-remaining-work policy fed by every node's SRPT load
+//! signal — a [`PlacementManager`] pins models to replica sets under a
+//! per-node memory budget, and an optional [`Autoscaler`] grows and drains
+//! the fleet on sustained backlog, paying a modelled cold-start (weights
+//! over PCIe) for every node it adds.
+//!
+//! Determinism: all nodes advance in lockstep on the shared DES clock. The
+//! cluster's `advance_until` repeatedly processes the globally earliest
+//! event (router arrival, node ingress, or node-internal work); ties break
+//! router-first, then by node index, and the only randomness (power-of-two
+//! sampling) comes from a seeded [`Xoshiro256pp`], so the same seed replays
+//! the same execution bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod autoscaler;
+pub mod placement;
+pub mod router;
+
+pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleDecision};
+pub use placement::{PlacementConfig, PlacementManager};
+pub use router::{ClusterRouter, NodeLoad, RoutingPolicy};
+
+use paella_channels::ChannelConfig;
+use paella_compiler::CompiledModel;
+use paella_core::dispatcher::{Dispatcher, DispatcherConfig};
+use paella_core::remote::RpcNetModel;
+use paella_core::sched::SrptDeficitScheduler;
+use paella_core::serve::ServingSystem;
+use paella_core::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
+use paella_gpu::DeviceConfig;
+use paella_sim::{EventQueue, SimDuration, SimTime, Xoshiro256pp};
+use paella_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceLog, Tracer};
+
+/// Cluster-wide knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Client↔router and router↔node network cost model.
+    pub net: RpcNetModel,
+    /// Balancing policy.
+    pub policy: RoutingPolicy,
+    /// Replication factor and per-node memory budget.
+    pub placement: PlacementConfig,
+    /// Autoscaling; `None` pins the fleet at its initial size.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Seed for node dispatchers and the router's RNG.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Defaults with the given policy: eRPC-style network, 2× replication
+    /// under a 16 GB budget, no autoscaling.
+    pub fn with_policy(policy: RoutingPolicy) -> Self {
+        ClusterConfig {
+            net: RpcNetModel::default(),
+            policy,
+            placement: PlacementConfig::default(),
+            autoscale: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Node lifecycle. Requests route only to `Online` nodes (with a fallback
+/// to warming/draining replicas if a model has no online replica at all).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeState {
+    /// Activating and loading weights; becomes `Online` at the stored time.
+    ColdStarting {
+        /// When the node finishes warming.
+        ready_at: SimTime,
+    },
+    /// Serving.
+    Online,
+    /// Excluded from routing; finishing its outstanding requests.
+    Draining,
+    /// Drained; retains its (warm) weights and can be reactivated cheaply.
+    Offline,
+}
+
+struct Node {
+    dispatcher: Dispatcher,
+    state: NodeState,
+    /// Public model id → node-local id (`None` if not replicated here).
+    local_ids: Vec<Option<ModelId>>,
+    /// Requests crossing the router→node link, with the work estimate the
+    /// router charged them (`(request-with-public-id, estimate)`).
+    ingress: EventQueue<(InferenceRequest, SimDuration)>,
+    /// Count and estimated work of requests still in the network.
+    in_network: u64,
+    in_network_work: SimDuration,
+    /// Routed minus completed — the JSQ signal.
+    outstanding: u64,
+}
+
+impl Node {
+    fn load(&self) -> NodeLoad {
+        NodeLoad {
+            outstanding: self.outstanding,
+            remaining_work: self.dispatcher.load_signal().remaining_work + self.in_network_work,
+        }
+    }
+}
+
+struct ClusterModel {
+    model: CompiledModel,
+    replicas: Vec<usize>,
+    /// Bootstrap total-time estimate, used to account for requests the
+    /// target node has not seen yet (in-network work).
+    estimate: SimDuration,
+}
+
+enum FrontEv {
+    /// A request reached the router.
+    Arrive(InferenceRequest),
+    /// A cold-starting node finished warming.
+    NodeReady(usize),
+    /// Periodic autoscaler evaluation.
+    ScaleTick,
+}
+
+/// Per-node outstanding-depth series names (the metrics registry requires
+/// `'static` keys, so the first 16 nodes get named series).
+const NODE_DEPTH: [&str; 16] = [
+    "node0_outstanding",
+    "node1_outstanding",
+    "node2_outstanding",
+    "node3_outstanding",
+    "node4_outstanding",
+    "node5_outstanding",
+    "node6_outstanding",
+    "node7_outstanding",
+    "node8_outstanding",
+    "node9_outstanding",
+    "node10_outstanding",
+    "node11_outstanding",
+    "node12_outstanding",
+    "node13_outstanding",
+    "node14_outstanding",
+    "node15_outstanding",
+];
+
+/// A multi-GPU Paella deployment: N dispatcher nodes behind one router, all
+/// on the shared virtual clock. Implements [`ServingSystem`] so every
+/// harness that drives a single node drives a cluster unchanged.
+pub struct Cluster {
+    device: DeviceConfig,
+    channels: ChannelConfig,
+    cfg: ClusterConfig,
+    nodes: Vec<Node>,
+    models: Vec<ClusterModel>,
+    placement: PlacementManager,
+    router: ClusterRouter,
+    autoscaler: Option<Autoscaler>,
+    frontend: EventQueue<FrontEv>,
+    /// Whether a ScaleTick is already scheduled (one in flight at a time).
+    tick_scheduled: bool,
+    completions: Vec<JobCompletion>,
+    tracer: Tracer,
+    metrics: Option<Box<MetricsRegistry>>,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl Cluster {
+    /// A cluster of `nodes` identical devices with the Paella dispatcher
+    /// configuration (SRPT + deficit) on every node.
+    pub fn new(device: DeviceConfig, nodes: usize, cfg: ClusterConfig) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let channels = ChannelConfig::default();
+        let node_vec = (0..nodes)
+            .map(|i| Node {
+                dispatcher: make_dispatcher(&device, channels, cfg.seed, i as u64),
+                state: NodeState::Online,
+                local_ids: Vec::new(),
+                ingress: EventQueue::new(),
+                in_network: 0,
+                in_network_work: SimDuration::ZERO,
+                outstanding: 0,
+            })
+            .collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0xC1A5_7E2D);
+        let router_seed = rng.next_u64();
+        Cluster {
+            device,
+            channels,
+            placement: PlacementManager::new(cfg.placement, nodes),
+            router: ClusterRouter::new(cfg.policy, router_seed),
+            autoscaler: cfg.autoscale.map(Autoscaler::new),
+            cfg,
+            nodes: node_vec,
+            models: Vec::new(),
+            frontend: EventQueue::new(),
+            tick_scheduled: false,
+            completions: Vec::new(),
+            tracer: Tracer::disabled(),
+            metrics: None,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// Total nodes (any state).
+    pub fn nodes_total(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes currently serving.
+    pub fn nodes_online(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Online)
+            .count()
+    }
+
+    /// Lifecycle state of `node`.
+    pub fn node_state(&self, node: usize) -> NodeState {
+        self.nodes[node].state
+    }
+
+    /// The replica set a model was pinned to.
+    pub fn replicas(&self, model: ModelId) -> &[usize] {
+        &self.models[model.0 as usize].replicas
+    }
+
+    /// `(scale-ups, scale-downs)` performed so far.
+    pub fn scale_events(&self) -> (u64, u64) {
+        (self.scale_ups, self.scale_downs)
+    }
+
+    /// Cold-start cost of a node holding `weight_bytes` of models: fixed
+    /// activation plus the weights over one PCIe copy engine.
+    fn cold_start_cost(&self, weight_bytes: u64) -> SimDuration {
+        let activation = self
+            .cfg
+            .autoscale
+            .map_or(SimDuration::ZERO, |a| a.activation);
+        let copy_us = weight_bytes as f64 / self.device.pcie_bytes_per_sec * 1e6;
+        activation + SimDuration::from_micros_f64(copy_us)
+    }
+
+    fn schedule_tick_after(&mut self, t: SimTime) {
+        if self.autoscaler.is_none() || self.tick_scheduled {
+            return;
+        }
+        // invariant: autoscaler.is_none() was just checked above.
+        let interval = self.autoscaler.as_ref().expect("checked").config().interval;
+        self.frontend
+            .schedule_at(t.max(self.frontend.now()) + interval, FrontEv::ScaleTick);
+        self.tick_scheduled = true;
+    }
+
+    /// Requests anywhere in the cluster (in-network, queued, in-flight).
+    fn total_outstanding(&self) -> u64 {
+        self.nodes.iter().map(|n| n.outstanding).sum()
+    }
+
+    // -- event handlers -----------------------------------------------------
+
+    fn on_arrive(&mut self, at: SimTime, req: InferenceRequest) {
+        let public = req.model.0 as usize;
+        assert!(public < self.models.len(), "unknown model {:?}", req.model);
+        // Replica set, online members first; a model whose whole replica set
+        // is warming or draining falls back to it anyway (the request waits
+        // in the node's ingress/queue rather than being dropped).
+        let all = &self.models[public].replicas;
+        let mut candidates: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].state == NodeState::Online)
+            .collect();
+        if candidates.is_empty() {
+            candidates = all
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].state != NodeState::Offline)
+                .collect();
+        }
+        if candidates.is_empty() {
+            candidates.clone_from(all);
+        }
+        let loads: Vec<NodeLoad> = candidates.iter().map(|&i| self.nodes[i].load()).collect();
+        let pos = self.router.pick(&candidates, &loads);
+        let chosen = candidates[pos];
+        let outstanding = loads[pos].outstanding;
+        if self.tracer.is_enabled() {
+            let (model, node, policy, n_cand) = (
+                public as u32,
+                chosen as u32,
+                self.router.policy().as_str(),
+                candidates.len() as u32,
+            );
+            self.tracer.record_with(at, || TraceEvent::RouteDecision {
+                model,
+                node,
+                policy,
+                outstanding,
+                candidates: n_cand,
+            });
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("requests_routed", 1);
+            if let Some(name) = NODE_DEPTH.get(chosen) {
+                m.gauge(name, outstanding + 1);
+                m.sample(name, at, outstanding + 1);
+            }
+        }
+        let est = self.models[public].estimate;
+        let hop = self.cfg.net.transfer(self.models[public].model.input_bytes);
+        let node = &mut self.nodes[chosen];
+        node.outstanding += 1;
+        node.in_network += 1;
+        node.in_network_work += est;
+        let arrive = (at + hop).max(node.ingress.now());
+        node.ingress.schedule_at(
+            arrive,
+            (
+                InferenceRequest {
+                    submitted_at: arrive,
+                    ..req
+                },
+                est,
+            ),
+        );
+    }
+
+    fn on_node_ready(&mut self, node: usize) {
+        if matches!(self.nodes[node].state, NodeState::ColdStarting { .. }) {
+            self.nodes[node].state = NodeState::Online;
+        }
+    }
+
+    fn on_scale_tick(&mut self, at: SimTime) {
+        self.tick_scheduled = false;
+        let outstanding = self.total_outstanding();
+        let online = self.nodes_online();
+        let active = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.state, NodeState::Online | NodeState::ColdStarting { .. }))
+            .count();
+        let decision = match self.autoscaler.as_mut() {
+            Some(a) => a.observe(at, outstanding, online, active),
+            None => ScaleDecision::Hold,
+        };
+        match decision {
+            ScaleDecision::Up => self.scale_up(at),
+            ScaleDecision::Down => self.drain_one(),
+            ScaleDecision::Hold => {}
+        }
+        // Keep ticking while there is anything to watch — outstanding work,
+        // pending arrivals, or an over-provisioned fleet that still needs to
+        // drain down to `min_nodes`. Going quiet once all three clear is
+        // what lets `run_to_idle` terminate.
+        let min_nodes = self.autoscaler.as_ref().map_or(0, |a| a.config().min_nodes);
+        if outstanding > 0 || !self.frontend.is_empty() || self.nodes_online() > min_nodes {
+            self.schedule_tick_after(at);
+        }
+    }
+
+    fn scale_up(&mut self, at: SimTime) {
+        self.scale_ups += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("scale_ups", 1);
+        }
+        // Prefer re-activating a warm offline node: weights are resident,
+        // only the activation delay applies.
+        if let Some(i) = self
+            .nodes
+            .iter()
+            .position(|n| n.state == NodeState::Offline)
+        {
+            let ready_at = at + self.cold_start_cost(0);
+            self.nodes[i].state = NodeState::ColdStarting { ready_at };
+            self.frontend.schedule_at(ready_at, FrontEv::NodeReady(i));
+            return;
+        }
+        // Fresh node: register every model that fits (public-id order) and
+        // pay for its weights over PCIe.
+        let i = self.placement.add_node();
+        let mut node = Node {
+            dispatcher: make_dispatcher(&self.device, self.channels, self.cfg.seed, i as u64),
+            state: NodeState::Online, // overwritten below
+            local_ids: vec![None; self.models.len()],
+            ingress: EventQueue::new(),
+            in_network: 0,
+            in_network_work: SimDuration::ZERO,
+            outstanding: 0,
+        };
+        let compiled: Vec<CompiledModel> = self.models.iter().map(|m| m.model.clone()).collect();
+        let placed = self.placement.fill_node(i, &compiled);
+        let mut weight = 0u64;
+        for idx in placed {
+            let local = node.dispatcher.register_model(&compiled[idx]);
+            node.local_ids[idx] = Some(local);
+            weight += compiled[idx].weight_bytes;
+            self.models[idx].replicas.push(i);
+        }
+        let ready_at = at + self.cold_start_cost(weight);
+        node.state = NodeState::ColdStarting { ready_at };
+        self.nodes.push(node);
+        self.frontend.schedule_at(ready_at, FrontEv::NodeReady(i));
+    }
+
+    fn drain_one(&mut self) {
+        // Drain the least-loaded online node, highest index on ties, so the
+        // fleet shrinks from the most recently added capacity.
+        let victim = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Online)
+            .min_by_key(|(i, n)| (n.outstanding, usize::MAX - i))
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            self.scale_downs += 1;
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("scale_downs", 1);
+            }
+            self.nodes[i].state = if self.nodes[i].outstanding == 0 {
+                NodeState::Offline
+            } else {
+                NodeState::Draining
+            };
+        }
+    }
+
+    /// Drains completions from node `i`, translating them back to the
+    /// cluster's public ids and times.
+    fn collect_completions(&mut self, i: usize) {
+        let net = self.cfg.net;
+        let mut drained = self.nodes[i].dispatcher.drain_completions();
+        if drained.is_empty() {
+            return;
+        }
+        for c in &mut drained {
+            let public = self.nodes[i]
+                .local_ids
+                .iter()
+                .position(|&l| l == Some(c.request.model))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "node {i} completed unknown local model {:?}",
+                        c.request.model
+                    )
+                });
+            let m = &self.models[public].model;
+            // Two ingress crossings (client→router, router→node) were folded
+            // into the submission time the node saw; both are deterministic
+            // per model, so subtract them back out exactly.
+            let ingress = net.transfer(m.input_bytes) * 2;
+            let egress = net.transfer(m.output_bytes);
+            c.request.model = ModelId(public as u32);
+            c.request.submitted_at = SimTime::from_nanos(
+                c.request
+                    .submitted_at
+                    .as_nanos()
+                    .saturating_sub(ingress.as_nanos()),
+            );
+            c.client_visible_at += egress;
+            c.breakdown.communication += ingress + egress;
+        }
+        let n = &mut self.nodes[i];
+        n.outstanding = n.outstanding.saturating_sub(drained.len() as u64);
+        if n.state == NodeState::Draining && n.outstanding == 0 {
+            n.state = NodeState::Offline;
+        }
+        self.completions.append(&mut drained);
+    }
+}
+
+fn make_dispatcher(
+    device: &DeviceConfig,
+    channels: ChannelConfig,
+    seed: u64,
+    node: u64,
+) -> Dispatcher {
+    Dispatcher::new(
+        device.clone(),
+        channels,
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        DispatcherConfig::paella(),
+        seed.wrapping_add(node).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+impl ServingSystem for Cluster {
+    /// Registers `model` on its replica set (chosen by the placement
+    /// manager) and returns the cluster-public id.
+    fn register_model(&mut self, model: &CompiledModel) -> ModelId {
+        let public = ModelId(self.models.len() as u32);
+        let replicas = self.placement.place(model);
+        let mut estimate = SimDuration::ZERO;
+        for &i in &replicas {
+            let local = self.nodes[i].dispatcher.register_model(model);
+            while self.nodes[i].local_ids.len() < public.0 as usize {
+                self.nodes[i].local_ids.push(None);
+            }
+            self.nodes[i].local_ids.push(Some(local));
+            estimate = self.nodes[i].dispatcher.profile_estimate(local);
+        }
+        // Non-replica nodes still need the id column to stay aligned.
+        for n in &mut self.nodes {
+            while n.local_ids.len() < public.0 as usize + 1 {
+                n.local_ids.push(None);
+            }
+        }
+        self.models.push(ClusterModel {
+            model: model.clone(),
+            replicas,
+            estimate,
+        });
+        public
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        let input = self.models[req.model.0 as usize].model.input_bytes;
+        let arrive = (req.submitted_at + self.cfg.net.transfer(input)).max(self.frontend.now());
+        self.frontend.schedule_at(arrive, FrontEv::Arrive(req));
+        self.schedule_tick_after(arrive);
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let mut t = self.frontend.peek_time();
+        for n in &mut self.nodes {
+            t = min_opt(t, n.ingress.peek_time());
+            t = min_opt(t, n.dispatcher.next_event_time());
+        }
+        t
+    }
+
+    /// Lockstep advance: repeatedly process the globally earliest event at
+    /// or before `t`. Ties break router-first, then node ingress by index,
+    /// then node-internal work by index — a fixed order, so runs are
+    /// deterministic.
+    fn advance_until(&mut self, t: SimTime) {
+        loop {
+            let tf = self.frontend.peek_time();
+            let mut ti: Option<(SimTime, usize)> = None;
+            let mut tn: Option<(SimTime, usize)> = None;
+            for (i, n) in self.nodes.iter_mut().enumerate() {
+                if let Some(a) = n.ingress.peek_time() {
+                    if ti.is_none_or(|(b, _)| a < b) {
+                        ti = Some((a, i));
+                    }
+                }
+                if let Some(a) = n.dispatcher.next_event_time() {
+                    if tn.is_none_or(|(b, _)| a < b) {
+                        tn = Some((a, i));
+                    }
+                }
+            }
+            let next = [tf, ti.map(|(a, _)| a), tn.map(|(a, _)| a)]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else { break };
+            if next > t {
+                break;
+            }
+            if tf == Some(next) {
+                // invariant: peek_time returned Some(next), so pop succeeds.
+                let (at, ev) = self.frontend.pop().expect("peeked");
+                match ev {
+                    FrontEv::Arrive(req) => self.on_arrive(at, req),
+                    FrontEv::NodeReady(i) => self.on_node_ready(i),
+                    FrontEv::ScaleTick => self.on_scale_tick(at),
+                }
+            } else if let Some((a, i)) = ti.filter(|&(a, _)| a == next) {
+                let n = &mut self.nodes[i];
+                // invariant: peek_time returned Some(a), so pop succeeds.
+                let (_, (req, est)) = n.ingress.pop().expect("peeked");
+                n.in_network = n.in_network.saturating_sub(1);
+                n.in_network_work = n.in_network_work.saturating_sub(est);
+                let local = n.local_ids[req.model.0 as usize].unwrap_or_else(|| {
+                    panic!("request routed to node {i} without model {:?}", req.model)
+                });
+                n.dispatcher.submit(InferenceRequest {
+                    model: local,
+                    ..req
+                });
+                let _ = a;
+            } else if let Some((a, i)) = tn {
+                self.nodes[i].dispatcher.advance_until(a);
+                self.collect_completions(i);
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "cluster[{}x{}]",
+            self.nodes.len(),
+            self.router.policy().as_str()
+        )
+    }
+
+    /// Enables the router's own telemetry and forwards the call to every
+    /// node's dispatcher.
+    fn enable_telemetry(&mut self) {
+        self.tracer = Tracer::enabled();
+        self.metrics = Some(Box::new(MetricsRegistry::new()));
+        for n in &mut self.nodes {
+            n.dispatcher.enable_telemetry();
+        }
+    }
+
+    /// The router's trace merged with every node's host+device trace.
+    fn take_trace_log(&mut self) -> Option<TraceLog> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let mut sources = vec![self.tracer.take()];
+        for n in &mut self.nodes {
+            sources.push(n.dispatcher.take_trace_log());
+        }
+        Some(TraceLog::merged(sources))
+    }
+
+    /// The cluster-level registry (routing counters, per-node depth series).
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
+    }
+
+    /// Aggregate over all nodes plus requests still inside the router tier.
+    fn load_signal(&self) -> LoadSignal {
+        let mut s = LoadSignal {
+            queued: self.frontend.len() as u64,
+            ..LoadSignal::default()
+        };
+        for n in &self.nodes {
+            let ns = n.dispatcher.load_signal();
+            s.queued += ns.queued + n.in_network;
+            s.inflight += ns.inflight;
+            s.remaining_work += ns.remaining_work + n.in_network_work;
+        }
+        s
+    }
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paella_core::types::ClientId;
+    use paella_models::synthetic;
+
+    fn cluster(nodes: usize, policy: RoutingPolicy) -> Cluster {
+        Cluster::new(
+            DeviceConfig::tesla_t4(),
+            nodes,
+            ClusterConfig {
+                seed: 11,
+                ..ClusterConfig::with_policy(policy)
+            },
+        )
+    }
+
+    fn submit_n(c: &mut Cluster, id: ModelId, n: u64, gap_us: u64) {
+        for i in 0..n {
+            c.submit(InferenceRequest {
+                client: ClientId((i % 4) as u32),
+                model: id,
+                submitted_at: SimTime::from_micros(i * gap_us),
+            });
+        }
+    }
+
+    #[test]
+    fn requests_complete_across_nodes() {
+        let mut c = cluster(4, RoutingPolicy::Jsq);
+        let m = synthetic::uniform_job("cl", 4, SimDuration::from_micros(150), 64);
+        let id = c.register_model(&m);
+        assert_eq!(c.replicas(id).len(), 2, "default 2x replication");
+        submit_n(&mut c, id, 40, 100);
+        c.run_to_idle();
+        let done = c.drain_completions();
+        assert_eq!(done.len(), 40);
+        for d in &done {
+            assert_eq!(d.request.model, id, "public id restored");
+            assert!(d.client_visible_at > d.request.submitted_at);
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_bit_deterministic() {
+        let run = |policy| {
+            let mut c = cluster(4, policy);
+            let m = synthetic::uniform_job("det", 6, SimDuration::from_micros(200), 64);
+            let id = c.register_model(&m);
+            submit_n(&mut c, id, 60, 40);
+            c.run_to_idle();
+            let mut done = c.drain_completions();
+            done.sort_by_key(|d| (d.request.submitted_at, d.client_visible_at));
+            done.iter()
+                .map(|d| format!("{}:{}", d.request.submitted_at, d.client_visible_at))
+                .collect::<Vec<_>>()
+        };
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::Jsq,
+            RoutingPolicy::PowerOfTwoChoices,
+            RoutingPolicy::LeastRemainingWork,
+        ] {
+            assert_eq!(run(policy), run(policy), "{policy:?} must replay exactly");
+        }
+    }
+
+    #[test]
+    fn network_crossings_are_charged() {
+        // One idle node, one request: the cluster JCT must exceed a bare
+        // dispatcher's by roughly three crossings (two in, one out).
+        let m = synthetic::uniform_job("net", 4, SimDuration::from_micros(150), 64);
+        let mut solo = make_dispatcher(&DeviceConfig::tesla_t4(), ChannelConfig::default(), 11, 0);
+        let sid = solo.register_model(&m);
+        solo.submit(InferenceRequest {
+            client: ClientId(0),
+            model: sid,
+            submitted_at: SimTime::ZERO,
+        });
+        solo.run_to_idle();
+        let jct_solo = solo.drain_completions()[0].jct();
+
+        let mut c = cluster(1, RoutingPolicy::RoundRobin);
+        let id = c.register_model(&m);
+        c.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        c.run_to_idle();
+        let done = c.drain_completions();
+        let net = RpcNetModel::default();
+        let expected = net.transfer(m.input_bytes) * 2 + net.transfer(m.output_bytes);
+        let extra = done[0].jct().saturating_sub(jct_solo);
+        assert!(
+            extra >= expected.saturating_sub(SimDuration::from_micros(2))
+                && extra <= expected + SimDuration::from_micros(10),
+            "extra {extra} vs expected {expected}"
+        );
+        assert!(done[0].breakdown.communication >= expected);
+    }
+
+    #[test]
+    fn telemetry_passthrough_reaches_nodes_and_router() {
+        let mut c = cluster(2, RoutingPolicy::LeastRemainingWork);
+        let m = synthetic::uniform_job("tel", 4, SimDuration::from_micros(100), 32);
+        let id = c.register_model(&m);
+        c.enable_telemetry();
+        submit_n(&mut c, id, 8, 50);
+        c.run_to_idle();
+        let trace = c.take_trace_log().expect("telemetry enabled");
+        assert!(!trace.is_empty());
+        let kinds: Vec<&str> = trace.events.iter().map(|e| e.event.kind()).collect();
+        assert!(
+            kinds.contains(&"route-decision"),
+            "router events must be traced"
+        );
+        assert!(
+            kinds.contains(&"job-begin"),
+            "node dispatcher events must be forwarded"
+        );
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("requests_routed"), 8);
+        assert!(snap.series("node0_outstanding").is_some());
+    }
+
+    #[test]
+    fn autoscaler_grows_on_sustained_backlog_and_drains_after() {
+        let mut c = Cluster::new(
+            DeviceConfig::tesla_t4(),
+            1,
+            ClusterConfig {
+                seed: 5,
+                autoscale: Some(AutoscaleConfig {
+                    min_nodes: 1,
+                    max_nodes: 3,
+                    high_watermark: 6.0,
+                    low_watermark: 1.0,
+                    sustain: SimDuration::from_micros(400),
+                    interval: SimDuration::from_micros(200),
+                    activation: SimDuration::from_micros(300),
+                }),
+                ..ClusterConfig::with_policy(RoutingPolicy::Jsq)
+            },
+        );
+        let m = synthetic::uniform_job("as", 8, SimDuration::from_micros(300), 128);
+        let id = c.register_model(&m);
+        // A heavy burst, then silence: the cluster must grow, then shrink.
+        submit_n(&mut c, id, 120, 10);
+        c.run_to_idle();
+        let done = c.drain_completions();
+        assert_eq!(done.len(), 120, "scaling must not lose requests");
+        let (ups, downs) = c.scale_events();
+        assert!(ups >= 1, "sustained backlog must add capacity");
+        assert!(downs >= 1, "idle fleet must drain back");
+        assert!(c.nodes_total() > 1, "a node was added");
+        assert_eq!(c.nodes_online(), 1, "drained back to min_nodes");
+    }
+
+    #[test]
+    fn load_signal_aggregates_and_empties() {
+        let mut c = cluster(2, RoutingPolicy::Jsq);
+        let m = synthetic::uniform_job("ls", 4, SimDuration::from_micros(100), 32);
+        let id = c.register_model(&m);
+        submit_n(&mut c, id, 10, 1);
+        let s = c.load_signal();
+        assert_eq!(s.outstanding(), 10, "all submitted requests visible");
+        c.run_to_idle();
+        let s = c.load_signal();
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.remaining_work, SimDuration::ZERO);
+    }
+}

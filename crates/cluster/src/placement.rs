@@ -1,0 +1,178 @@
+//! Replicated model placement under per-node memory budgets.
+//!
+//! Each model is pinned to a replica set at registration time; the router
+//! only balances within that set. Replicas are chosen water-filling style:
+//! the nodes with the most free weight memory take the next model, so hot
+//! co-residency is spread instead of stacking every model on node 0.
+
+use paella_compiler::CompiledModel;
+
+/// Placement knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementConfig {
+    /// Desired replicas per model (capped by how many nodes can fit it).
+    pub replication: usize,
+    /// Per-node weight-memory budget in bytes (the T4 carries 16 GB).
+    pub mem_budget_bytes: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            replication: 2,
+            mem_budget_bytes: 16 << 30,
+        }
+    }
+}
+
+/// Chooses replica sets and tracks per-node weight memory.
+pub struct PlacementManager {
+    cfg: PlacementConfig,
+    /// Weight bytes charged per node (index = node).
+    used: Vec<u64>,
+}
+
+impl PlacementManager {
+    /// A manager for `nodes` empty nodes.
+    pub fn new(cfg: PlacementConfig, nodes: usize) -> Self {
+        PlacementManager {
+            cfg,
+            used: vec![0; nodes],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.cfg
+    }
+
+    /// Weight bytes charged to `node`.
+    pub fn used(&self, node: usize) -> u64 {
+        self.used[node]
+    }
+
+    /// Registers one more (empty) node and returns its index.
+    pub fn add_node(&mut self) -> usize {
+        self.used.push(0);
+        self.used.len() - 1
+    }
+
+    /// Picks the replica set for `model`: up to `replication` nodes with
+    /// room, most-free-memory first (ties to the lower index), and charges
+    /// the weight bytes against each. The returned indices are sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node has room for the model's weights — a deployment
+    /// error worth failing loudly on, not a runtime condition.
+    pub fn place(&mut self, model: &CompiledModel) -> Vec<usize> {
+        let weight = model.weight_bytes;
+        let mut fits: Vec<usize> = (0..self.used.len())
+            .filter(|&i| self.used[i] + weight <= self.cfg.mem_budget_bytes)
+            .collect();
+        assert!(
+            !fits.is_empty(),
+            "model {:?} ({} bytes) fits on no node (budget {} bytes/node)",
+            model.name,
+            weight,
+            self.cfg.mem_budget_bytes
+        );
+        // Most free memory first; stable tie-break on index keeps placement
+        // deterministic.
+        fits.sort_by_key(|&i| (self.used[i], i));
+        fits.truncate(self.cfg.replication.max(1));
+        fits.sort_unstable();
+        for &i in &fits {
+            self.used[i] += weight;
+        }
+        fits
+    }
+
+    /// Greedily charges `node` for every model in `models` (public-id
+    /// order) that still fits, returning the indices of the models placed.
+    /// Used when the autoscaler brings up a fresh node.
+    pub fn fill_node(&mut self, node: usize, models: &[CompiledModel]) -> Vec<usize> {
+        let mut placed = Vec::new();
+        for (idx, m) in models.iter().enumerate() {
+            if self.used[node] + m.weight_bytes <= self.cfg.mem_budget_bytes {
+                self.used[node] += m.weight_bytes;
+                placed.push(idx);
+            }
+        }
+        placed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(name: &str, weight: u64) -> CompiledModel {
+        CompiledModel {
+            name: name.to_string(),
+            ops: Vec::new(),
+            schedule: None,
+            input_bytes: 0,
+            output_bytes: 0,
+            weight_bytes: weight,
+            flops: 0,
+        }
+    }
+
+    #[test]
+    fn replicas_spread_across_emptiest_nodes() {
+        let mut p = PlacementManager::new(
+            PlacementConfig {
+                replication: 2,
+                mem_budget_bytes: 100,
+            },
+            4,
+        );
+        assert_eq!(p.place(&weighted("a", 60)), vec![0, 1]);
+        // Nodes 2 and 3 are now the emptiest.
+        assert_eq!(p.place(&weighted("b", 60)), vec![2, 3]);
+        // 60-byte nodes can't take another 60; all four are full for "c".
+        assert_eq!(p.place(&weighted("c", 30)), vec![0, 1]);
+    }
+
+    #[test]
+    fn replication_caps_at_fitting_nodes() {
+        let mut p = PlacementManager::new(
+            PlacementConfig {
+                replication: 3,
+                mem_budget_bytes: 100,
+            },
+            2,
+        );
+        assert_eq!(p.place(&weighted("a", 10)).len(), 2, "only 2 nodes exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "fits on no node")]
+    fn unplaceable_model_rejected() {
+        let mut p = PlacementManager::new(
+            PlacementConfig {
+                replication: 1,
+                mem_budget_bytes: 100,
+            },
+            2,
+        );
+        p.place(&weighted("huge", 101));
+    }
+
+    #[test]
+    fn fill_node_respects_budget() {
+        let mut p = PlacementManager::new(
+            PlacementConfig {
+                replication: 1,
+                mem_budget_bytes: 100,
+            },
+            1,
+        );
+        let n = p.add_node();
+        let models = vec![weighted("a", 70), weighted("b", 50), weighted("c", 20)];
+        // 70 fits, 50 no longer does, 20 still does.
+        assert_eq!(p.fill_node(n, &models), vec![0, 2]);
+        assert_eq!(p.used(n), 90);
+    }
+}

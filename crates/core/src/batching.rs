@@ -15,7 +15,7 @@ use paella_compiler::{CompiledModel, DeviceOp};
 use paella_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::serve::ServingSystem;
-use crate::types::{InferenceRequest, JobCompletion, ModelId};
+use crate::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
 
 /// Batching policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -243,6 +243,31 @@ impl<S: ServingSystem> ServingSystem for SaturationBatcher<S> {
     fn name(&self) -> String {
         format!("batched[{}]", self.inner.name())
     }
+
+    fn enable_telemetry(&mut self) {
+        self.inner.enable_telemetry()
+    }
+
+    fn take_trace_log(&mut self) -> Option<paella_telemetry::TraceLog> {
+        self.inner.take_trace_log()
+    }
+
+    fn metrics_snapshot(&self) -> Option<paella_telemetry::MetricsSnapshot> {
+        self.inner.metrics_snapshot()
+    }
+
+    fn load_signal(&self) -> LoadSignal {
+        // Requests parked in the batcher's own queues are load the inner
+        // system can't see yet; fold them into `queued`.
+        let mut s = self.inner.load_signal();
+        s.queued += self.arrivals.len() as u64;
+        s.queued += self
+            .models
+            .iter()
+            .map(|st| st.queue.len() as u64)
+            .sum::<u64>();
+        s
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +373,65 @@ mod tests {
             t_batched.as_nanos() * 5 < t_plain.as_nanos() * 4,
             "batching should cut the burst makespan ≥20%: {t_plain} vs {t_batched}"
         );
+    }
+
+    #[test]
+    fn telemetry_passes_through_the_batcher() {
+        let mut b = SaturationBatcher::new(paella(), BatchPolicy::default());
+        b.enable_telemetry();
+        let id = b.register_model(&model());
+        b.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        b.run_to_idle();
+        let trace = b.take_trace_log().expect("inner tracer must be reachable");
+        assert!(
+            trace.events.iter().any(|e| e.event.kind() == "job-begin"),
+            "inner dispatcher events must surface through the wrapper"
+        );
+        let snap = b.metrics_snapshot().expect("inner metrics must surface");
+        assert!(snap.counter("jobs_completed") >= 1);
+    }
+
+    #[test]
+    fn batching_disengages_when_backlog_drains() {
+        // Hysteresis: a saturating burst engages batching, but once the
+        // backlog drains below the threshold, later requests pass through
+        // unbatched again — no sticky batching mode.
+        let mut b = SaturationBatcher::new(paella(), BatchPolicy::default());
+        let id = b.register_model(&model());
+        let burst = 40u64;
+        for i in 0..burst {
+            b.submit(InferenceRequest {
+                client: ClientId((i % 4) as u32),
+                model: id,
+                submitted_at: SimTime::from_micros(i),
+            });
+        }
+        // A trickle long after the burst has drained, spaced far apart.
+        let tail = 6u64;
+        for i in 0..tail {
+            b.submit(InferenceRequest {
+                client: ClientId(0),
+                model: id,
+                submitted_at: SimTime::from_millis(400 + i * 20),
+            });
+        }
+        // Run past the burst; it is far over capacity so batching engages.
+        b.advance_until(SimTime::from_millis(390));
+        let formed_during_burst = b.batches_formed();
+        assert!(formed_during_burst > 0, "burst must engage batching");
+        assert_eq!(b.drain_completions().len(), burst as usize);
+        // The trickle phase must not form a single new batch.
+        b.run_to_idle();
+        assert_eq!(
+            b.batches_formed(),
+            formed_during_burst,
+            "batching must disengage once the backlog drains"
+        );
+        assert_eq!(b.drain_completions().len(), tail as usize);
     }
 
     #[test]

@@ -288,8 +288,10 @@ impl Job {
 
 #[derive(Clone, Copy, Debug)]
 enum Ev {
-    /// A request finished crossing the client→dispatcher ring.
-    Ingest(InferenceRequest),
+    /// A request finished crossing the client→dispatcher ring. Carries the
+    /// work estimate charged to `queued_work` at submit time so the exact
+    /// amount is released at ingest even if the profile refines in between.
+    Ingest(InferenceRequest, SimDuration),
 }
 
 /// The dispatcher plus the device it drives.
@@ -328,6 +330,10 @@ pub struct Dispatcher {
     notifq_reserved: HashMap<KernelUid, u64>,
     /// Total dispatcher CPU busy time (for utilization reports).
     cpu_busy: SimDuration,
+    /// Requests submitted but not yet ingested off the ring, with the sum of
+    /// their profiled total estimates (the queued half of [`LoadSignal`]).
+    queued_ingest: u64,
+    queued_work: SimDuration,
     now: SimTime,
     /// Structured telemetry sink for host-side events (no-op by default).
     tracer: Tracer,
@@ -382,6 +388,8 @@ impl Dispatcher {
             notifq_outstanding: 0,
             notifq_reserved: HashMap::new(),
             cpu_busy: SimDuration::ZERO,
+            queued_ingest: 0,
+            queued_work: SimDuration::ZERO,
             now: SimTime::ZERO,
             tracer: Tracer::disabled(),
             metrics: None,
@@ -479,6 +487,24 @@ impl Dispatcher {
         self.jobs.len()
     }
 
+    /// The dispatcher's ground-truth load: queued + in-flight request counts
+    /// and the SRPT estimated-remaining-time summed over all of them. This is
+    /// the same per-job `profile.remaining(done_counts)` quantity the
+    /// scheduler ranks on, so a cluster router reading it routes on exactly
+    /// what the node's scheduler will see.
+    pub fn load_signal(&self) -> crate::types::LoadSignal {
+        let mut remaining = self.queued_work;
+        for job in self.jobs.values() {
+            let idx = job.request.model.0 as usize;
+            remaining += self.models[idx].profile.remaining(&job.done_counts);
+        }
+        crate::types::LoadSignal {
+            queued: self.queued_ingest,
+            inflight: self.jobs.len() as u64,
+            remaining_work: remaining,
+        }
+    }
+
     /// Submits an inference request (the client's `paella.predict`). The
     /// request crosses the shared-memory ring and is ingested when the
     /// dispatcher polls it.
@@ -487,7 +513,13 @@ impl Dispatcher {
             .submitted_at
             .saturating_add(self.channel_submit_latency())
             .max(self.events.now());
-        self.events.schedule_at(arrive, Ev::Ingest(req));
+        let est = self
+            .models
+            .get(req.model.0 as usize)
+            .map_or(SimDuration::ZERO, |m| m.profile.total_estimate());
+        self.queued_ingest += 1;
+        self.queued_work += est;
+        self.events.schedule_at(arrive, Ev::Ingest(req, est));
     }
 
     fn channel_submit_latency(&self) -> SimDuration {
@@ -537,7 +569,7 @@ impl Dispatcher {
                 let (at, ev) = self.events.pop().expect("peeked event");
                 self.now = self.now.max(at);
                 match ev {
-                    Ev::Ingest(req) => self.ingest(at, req),
+                    Ev::Ingest(req, est) => self.ingest(at, req, est),
                 }
             }
             self.try_dispatch();
@@ -638,7 +670,9 @@ impl Dispatcher {
 
     // -- ingest & job construction ------------------------------------------
 
-    fn ingest(&mut self, at: SimTime, req: InferenceRequest) {
+    fn ingest(&mut self, at: SimTime, req: InferenceRequest, charged: SimDuration) {
+        self.queued_ingest = self.queued_ingest.saturating_sub(1);
+        self.queued_work = self.queued_work.saturating_sub(charged);
         let t_ingested =
             self.charge_cpu_traced(req.client, at, self.cfg.ingest_cost, HostOpKind::Ingest);
         *self.client_inflight.entry(req.client).or_insert(0) += 1;

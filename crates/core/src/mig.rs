@@ -18,11 +18,17 @@ use crate::serve::ServingSystem;
 use crate::types::{InferenceRequest, JobCompletion, ModelId};
 
 /// Splits a device into MIG-style partitions with `slices[i]` SMs each.
-/// Hardware queues are divided proportionally (at least one per partition).
+/// Hardware queues are apportioned to partitions proportionally to their SM
+/// share by largest-remainder (Hamilton) division, so the partition queues
+/// always sum to exactly the device's queue count — a naive per-slice
+/// `(queues * sms / total_sms).max(1)` can hand out more queues than the
+/// hardware has when many small slices each round up to one.
 ///
 /// # Panics
 ///
-/// Panics if `slices` is empty, contains a zero, or oversubscribes the SMs.
+/// Panics if `slices` is empty, contains a zero, oversubscribes the SMs, or
+/// has more partitions than the device has hardware queues (each partition
+/// needs at least one).
 pub fn partition_device(device: &DeviceConfig, slices: &[u32]) -> Vec<DeviceConfig> {
     assert!(!slices.is_empty(), "at least one partition");
     assert!(slices.iter().all(|&s| s > 0), "empty partition");
@@ -32,15 +38,68 @@ pub fn partition_device(device: &DeviceConfig, slices: &[u32]) -> Vec<DeviceConf
         "partitions ({total} SMs) exceed the device ({} SMs)",
         device.num_sms
     );
+    assert!(
+        slices.len() as u32 <= device.num_hw_queues,
+        "more partitions ({}) than hardware queues ({})",
+        slices.len(),
+        device.num_hw_queues
+    );
+    let queues = apportion_queues(device.num_hw_queues, slices);
     slices
         .iter()
-        .map(|&sms| {
+        .zip(queues)
+        .map(|(&sms, q)| {
             let mut d = device.clone();
             d.num_sms = sms;
-            d.num_hw_queues = (device.num_hw_queues * sms / device.num_sms).max(1);
+            d.num_hw_queues = q;
             d
         })
         .collect()
+}
+
+/// Largest-remainder apportionment of `total_queues` proportional to the SM
+/// counts in `slices`: integer floors first, the leftover queues go to the
+/// largest fractional remainders (ties to the lower index), then a ≥ 1 floor
+/// is enforced by taking queues from the best-endowed partitions. The result
+/// always sums to exactly `total_queues`.
+fn apportion_queues(total_queues: u32, slices: &[u32]) -> Vec<u32> {
+    let sm_total: u64 = slices.iter().map(|&s| u64::from(s)).sum();
+    let mut out: Vec<u32> = Vec::with_capacity(slices.len());
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(slices.len());
+    for (i, &sms) in slices.iter().enumerate() {
+        let num = u64::from(total_queues) * u64::from(sms);
+        out.push((num / sm_total) as u32);
+        remainders.push((num % sm_total, i));
+    }
+    let assigned: u32 = out.iter().sum();
+    // Exactly (sum of remainders) / sm_total queues are still unassigned,
+    // which is < slices.len(), so one pass over the sorted remainders
+    // places them all.
+    let mut left = total_queues - assigned;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in &remainders {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    // Every partition needs a queue to make progress; the caller guarantees
+    // slices.len() <= total_queues, so stealing from the richest partition
+    // (lowest index on ties) terminates with all entries ≥ 1.
+    for i in 0..out.len() {
+        while out[i] == 0 {
+            let donor = out
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(j, _)| j)
+                .expect("non-empty slices");
+            out[donor] -= 1;
+            out[i] += 1;
+        }
+    }
+    out
 }
 
 /// A Paella deployment over static MIG partitions.
@@ -218,6 +277,43 @@ mod tests {
     #[should_panic(expected = "exceed the device")]
     fn oversubscription_rejected() {
         partition_device(&DeviceConfig::tesla_t4(), &[30, 20]);
+    }
+
+    #[test]
+    fn queue_apportionment_conserves_the_total() {
+        // Many small slices used to round up to one queue each and
+        // oversubscribe the hardware: on a T4 (40 SMs, 32 queues),
+        // [1,1,1,1,1,35] summed to 33 queues under the old rule.
+        let t4 = DeviceConfig::tesla_t4();
+        let parts = partition_device(&t4, &[1, 1, 1, 1, 1, 35]);
+        let sum: u32 = parts.iter().map(|p| p.num_hw_queues).sum();
+        assert_eq!(sum, t4.num_hw_queues, "queues must conserve the total");
+        assert!(
+            parts.iter().all(|p| p.num_hw_queues >= 1),
+            "every partition needs a queue"
+        );
+        // The big slice keeps the lion's share.
+        assert!(parts[5].num_hw_queues >= 26, "{:?}", parts[5].num_hw_queues);
+        // Exhaustive: any legal split conserves the total exactly.
+        for slices in [
+            vec![40],
+            vec![20, 20],
+            vec![13, 13, 13],
+            vec![2, 3, 5, 7, 11],
+            vec![1; 32],
+        ] {
+            let parts = partition_device(&t4, &slices);
+            let sum: u32 = parts.iter().map(|p| p.num_hw_queues).sum();
+            assert_eq!(sum, t4.num_hw_queues, "slices {slices:?}");
+            assert!(parts.iter().all(|p| p.num_hw_queues >= 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions")]
+    fn more_partitions_than_queues_rejected() {
+        // 33 partitions cannot each get one of the T4's 32 queues.
+        partition_device(&DeviceConfig::tesla_t4(), &[1; 33]);
     }
 
     #[test]

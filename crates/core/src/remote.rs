@@ -11,7 +11,7 @@
 use paella_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::serve::ServingSystem;
-use crate::types::{InferenceRequest, JobCompletion, ModelId};
+use crate::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
 
 /// Cost model for an eRPC-style kernel-bypass network path.
 #[derive(Clone, Copy, Debug)]
@@ -158,6 +158,27 @@ impl<S: ServingSystem> ServingSystem for RemoteGateway<S> {
     fn name(&self) -> String {
         format!("remote[{}]", self.inner.name())
     }
+
+    fn enable_telemetry(&mut self) {
+        self.inner.enable_telemetry()
+    }
+
+    fn take_trace_log(&mut self) -> Option<paella_telemetry::TraceLog> {
+        self.inner.take_trace_log()
+    }
+
+    fn metrics_snapshot(&self) -> Option<paella_telemetry::MetricsSnapshot> {
+        self.inner.metrics_snapshot()
+    }
+
+    fn load_signal(&self) -> LoadSignal {
+        // Requests still crossing the ingress network count as queued: the
+        // node is committed to them even though the inner system has not
+        // seen them yet.
+        let mut s = self.inner.load_signal();
+        s.queued += self.ingress.len() as u64;
+        s
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +272,27 @@ mod tests {
         let t = net.transfer(600_000);
         assert!(t < SimDuration::from_micros(60), "eRPC transfer {t}");
         assert!(t > SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn telemetry_passes_through_the_gateway() {
+        let m = model(10_000);
+        let mut g = RemoteGateway::new(local(), RpcNetModel::default());
+        g.enable_telemetry();
+        let id = g.register_model(&m);
+        g.submit(InferenceRequest {
+            client: ClientId(0),
+            model: id,
+            submitted_at: SimTime::ZERO,
+        });
+        g.run_to_idle();
+        let trace = g.take_trace_log().expect("inner tracer must be reachable");
+        assert!(
+            trace.events.iter().any(|e| e.event.kind() == "job-begin"),
+            "inner dispatcher events must surface through the wrapper"
+        );
+        let snap = g.metrics_snapshot().expect("inner metrics must surface");
+        assert!(snap.counter("jobs_completed") >= 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use paella_sim::SimTime;
 use paella_telemetry::{MetricsSnapshot, TraceLog};
 
 use crate::dispatcher::Dispatcher;
-use crate::types::{InferenceRequest, JobCompletion, ModelId};
+use crate::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
 
 /// A model-serving system running on simulated time.
 pub trait ServingSystem {
@@ -50,6 +50,12 @@ pub trait ServingSystem {
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// Current load as seen by layers above (routers, autoscalers).
+    /// Systems that don't track load return the zero signal.
+    fn load_signal(&self) -> LoadSignal {
+        LoadSignal::default()
+    }
 }
 
 impl ServingSystem for Dispatcher {
@@ -88,5 +94,9 @@ impl ServingSystem for Dispatcher {
 
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         Dispatcher::metrics_snapshot(self)
+    }
+
+    fn load_signal(&self) -> LoadSignal {
+        Dispatcher::load_signal(self)
     }
 }

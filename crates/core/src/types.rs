@@ -55,6 +55,28 @@ impl LatencyBreakdown {
     }
 }
 
+/// A point-in-time load summary a serving system exports to layers above it
+/// (a cluster router, an autoscaler). The `remaining_work` field is the
+/// dispatcher's SRPT signal — the profiled estimated-remaining-time summed
+/// over everything it has accepted — which is exactly the quantity Paella's
+/// scheduler already maintains per job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadSignal {
+    /// Requests accepted (`submit`) but not yet ingested off the ring.
+    pub queued: u64,
+    /// Jobs currently in flight inside the system.
+    pub inflight: u64,
+    /// Estimated remaining device work across queued + in-flight jobs.
+    pub remaining_work: SimDuration,
+}
+
+impl LoadSignal {
+    /// Total requests the system is holding (queued + in flight).
+    pub fn outstanding(&self) -> u64 {
+        self.queued + self.inflight
+    }
+}
+
 /// A finished job as reported back to the harness/client.
 #[derive(Clone, Copy, Debug)]
 pub struct JobCompletion {

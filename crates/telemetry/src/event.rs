@@ -224,6 +224,20 @@ pub enum TraceEvent {
         /// The nearly-done job.
         job: u64,
     },
+    /// A cluster router sent a request to a node (the cluster tier's
+    /// analogue of [`TraceEvent::SchedDecision`]).
+    RouteDecision {
+        /// Public (cluster-level) model id of the routed request.
+        model: u32,
+        /// The node the request was sent to.
+        node: u32,
+        /// Balancing policy name.
+        policy: &'static str,
+        /// Requests outstanding on the chosen node at decision time.
+        outstanding: u64,
+        /// Replica-set size the policy chose from.
+        candidates: u32,
+    },
     /// A periodic virtual-time counter sample (also rendered as a Chrome
     /// counter track).
     CounterSample {
@@ -251,6 +265,7 @@ impl TraceEvent {
             TraceEvent::SmSpanEnd { .. } => "sm-span-end",
             TraceEvent::NotifBatch { .. } => "notif-batch",
             TraceEvent::DoorbellWake { .. } => "doorbell-wake",
+            TraceEvent::RouteDecision { .. } => "route-decision",
             TraceEvent::CounterSample { .. } => "counter-sample",
         }
     }

@@ -126,6 +126,7 @@ const HWQ_TID_BASE: u32 = 1_000_000;
 const SCHED_TID: u32 = 90;
 const NOTIF_TID: u32 = 91;
 const DISPATCH_TID: u32 = 92;
+const ROUTER_TID: u32 = 93;
 
 /// Renders the log as Chrome-trace JSON (array-of-events form).
 pub fn chrome_trace_json(log: &TraceLog) -> String {
@@ -212,6 +213,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     }
     let mut host_cores: BTreeMap<u32, ()> = BTreeMap::new();
     let mut hw_queues: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut has_routes = false;
     for e in &events {
         match e.event {
             TraceEvent::HostOp { core, .. } => {
@@ -221,6 +223,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
             | TraceEvent::HwQueueStall { hw_queue, .. } => {
                 hw_queues.insert(hw_queue, ());
             }
+            TraceEvent::RouteDecision { .. } => has_routes = true,
             _ => {}
         }
     }
@@ -233,11 +236,15 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
             &mut first,
         );
     }
-    for (tid, name) in [
+    let mut fixed_tids = vec![
         (SCHED_TID, "scheduler"),
         (NOTIF_TID, "notifications"),
         (DISPATCH_TID, "kernel dispatch"),
-    ] {
+    ];
+    if has_routes {
+        fixed_tids.push((ROUTER_TID, "cluster router"));
+    }
+    for (tid, name) in fixed_tids {
         push(
             format!(
                 r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{tid},"ts":"0.000","args":{{"name":"{name}"}}}}"#
@@ -446,6 +453,21 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 push(
                     format!(
                         r#"{{"ph":"i","name":"doorbell job {job}","cat":"notif","s":"t","pid":0,"tid":{NOTIF_TID},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::RouteDecision {
+                model,
+                node,
+                policy,
+                outstanding,
+                candidates,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"route model {model} -> node {node}","cat":"route","s":"t","pid":0,"tid":{ROUTER_TID},"ts":"{at}","args":{{"policy":"{policy}","outstanding":{outstanding},"candidates":{candidates}}}}}"#
                     ),
                     &mut out,
                     &mut first,

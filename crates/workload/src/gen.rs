@@ -39,6 +39,26 @@ impl Mix {
         Mix::weighted(vec![(model, 1.0)])
     }
 
+    /// A skewed-popularity mix: model `i` (in the given order) gets weight
+    /// `1 / (i+1)^s` — the Zipf-like distribution of real serving traffic,
+    /// where a few hot models dominate and a long tail stays warm. `s = 0`
+    /// degenerates to uniform; production traces typically look like
+    /// `s ∈ [0.9, 1.5]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or `s` is negative.
+    pub fn zipf(models: &[ModelId], s: f64) -> Self {
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        Mix::weighted(
+            models
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (m, 1.0 / ((i + 1) as f64).powf(s)))
+                .collect(),
+        )
+    }
+
     /// An arbitrary weighted mix.
     ///
     /// # Panics

@@ -13,13 +13,17 @@
 //! * [`breakdown`] — the Fig. 10 latency-breakdown averaging and the Fig. 14
 //!   client CPU-utilization model.
 //! * [`systems`] — a registry constructing every Table 3 system by key.
+//! * [`cluster`] — the multi-node experiment: skewed-popularity mixes over a
+//!   [`paella_cluster::Cluster`], per-policy goodput and tail latency.
 
 pub mod breakdown;
+pub mod cluster;
 pub mod gen;
 pub mod runner;
 pub mod systems;
 
 pub use breakdown::{average_breakdown, client_utilization, BreakdownUs};
+pub use cluster::{run_cluster_point, smoke_models, ClusterExpResult, ClusterExpSpec};
 pub use gen::{generate, Arrival, Mix, WorkloadSpec};
 pub use runner::{load_sweep, run_trace, RunStats, SweepPoint};
 pub use systems::{make_system, SystemKey};

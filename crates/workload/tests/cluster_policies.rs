@@ -1,0 +1,57 @@
+//! Cluster-tier acceptance tests over the committed smoke configuration:
+//! the exact experiment `fig_cluster --smoke` prints must be bit-for-bit
+//! reproducible, and on the skewed model-popularity mix at 4 nodes the
+//! load-aware policies must beat load-oblivious round-robin on tail
+//! latency.
+
+use paella_cluster::RoutingPolicy;
+use paella_workload::{run_cluster_point, smoke_models, ClusterExpSpec};
+
+#[test]
+fn smoke_run_is_bit_deterministic() {
+    let models = smoke_models();
+    for policy in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::Jsq,
+        RoutingPolicy::PowerOfTwoChoices,
+        RoutingPolicy::LeastRemainingWork,
+    ] {
+        let spec = ClusterExpSpec {
+            requests: 200,
+            warmup: 40,
+            ..ClusterExpSpec::smoke(policy)
+        };
+        let a = run_cluster_point(&models, &spec).row();
+        let b = run_cluster_point(&models, &spec).row();
+        assert_eq!(a, b, "{policy:?}: same seed must print identical rows");
+    }
+}
+
+#[test]
+fn load_aware_routing_beats_round_robin_on_p99() {
+    // The committed smoke run: 4 nodes, Zipf-skewed 4-model mix at ~75% of
+    // fleet capacity. Round-robin keeps hitting the replica that happens to
+    // be grinding through a rare-big job; policies that see per-node load
+    // (queue depth or Paella's remaining-work signal) steer around it.
+    let models = smoke_models();
+    let p99 = |policy| {
+        let r = run_cluster_point(&models, &ClusterExpSpec::smoke(policy));
+        assert_eq!(
+            r.completed,
+            ClusterExpSpec::smoke(policy).requests,
+            "{policy:?} must complete the whole trace"
+        );
+        r.p99_us
+    };
+    let rr = p99(RoutingPolicy::RoundRobin);
+    let po2 = p99(RoutingPolicy::PowerOfTwoChoices);
+    let lrw = p99(RoutingPolicy::LeastRemainingWork);
+    assert!(
+        lrw < rr,
+        "least-remaining-work p99 {lrw:.0}µs must beat round-robin {rr:.0}µs"
+    );
+    assert!(
+        po2 < rr,
+        "power-of-two p99 {po2:.0}µs must beat round-robin {rr:.0}µs"
+    );
+}
