@@ -125,7 +125,7 @@ impl Triton {
         // fraction of small-batch inference kernels.
         let scale = 0.35 + 0.65 * b as f64;
         let mut m = model.clone();
-        m.name = format!("{}@b{b}", m.name);
+        m.name = format!("{}@b{b}", m.name).into();
         for op in &mut m.ops {
             match op {
                 DeviceOp::Kernel(k) => {

@@ -10,7 +10,7 @@ use paella_sim::{SimDuration, SimTime};
 
 fn kernel(blocks: u32, instrumented: bool) -> KernelDesc {
     KernelDesc {
-        name: "bench".to_string(),
+        name: "bench".to_string().into(),
         grid_blocks: blocks,
         footprint: BlockFootprint {
             threads: 128,

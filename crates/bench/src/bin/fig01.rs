@@ -18,7 +18,7 @@ const T_US: u64 = 100;
 
 fn kernel(task: u32, k: u32) -> KernelDesc {
     KernelDesc {
-        name: format!("{}{}", (b'A' + task as u8) as char, k + 1),
+        name: format!("{}{}", (b'A' + task as u8) as char, k + 1).into(),
         grid_blocks: 1,
         // 1024 threads: exactly one block per Turing SM.
         footprint: BlockFootprint {
@@ -70,7 +70,7 @@ fn render(name: &str, trace: &[TraceEntry]) {
                 .iter()
                 .find(|t| t.sm == sm && t.start <= t_mid && t_mid < t.end)
                 .map(|t| t.name.clone())
-                .unwrap_or_else(|| "--".to_string());
+                .unwrap_or_else(|| "--".into());
             line.push_str(&format!(" {k:>2} |"));
         }
         println!("{line}");
@@ -92,38 +92,6 @@ fn main() {
         "GPU scheduling under different submission methods (4 tasks x 3 kernels, 2 SMs)",
     );
 
-    // Baseline: a single stream — everything serializes.
-    render(
-        "Baseline (single stream)",
-        &run(
-            DeviceConfig::tiny(2, 1, Microarch::Fermi),
-            |_| 1,
-            &natural_order(),
-        ),
-    );
-
-    // Streams on Fermi: one hardware queue shared by all streams; only the
-    // first/last kernels of adjacent tasks overlap.
-    render(
-        "Streams (Fermi and earlier): 1 hardware queue",
-        &run(
-            DeviceConfig::tiny(2, 1, Microarch::Fermi),
-            |t| t + 1,
-            &natural_order(),
-        ),
-    );
-
-    // Streams on Kepler+/MPS: queue per stream; two tasks run concurrently,
-    // the other two wait for full completions.
-    render(
-        "Streams (Kepler and later) and MPS (Volta and later): 32 queues",
-        &run(
-            DeviceConfig::tiny(2, 32, Microarch::KeplerPlus),
-            |t| t + 1,
-            &natural_order(),
-        ),
-    );
-
     // Ideal: a software scheduler interleaves kernels so every task makes
     // progress and mean JCT is minimized for this workload shape. Emulated
     // here by choosing the kernel submission order with full knowledge.
@@ -141,14 +109,43 @@ fn main() {
         (2, 2),
         (3, 2),
     ];
-    render(
+    let titles = [
+        // Baseline: a single stream — everything serializes.
+        "Baseline (single stream)",
+        // Streams on Fermi: one hardware queue shared by all streams; only
+        // the first/last kernels of adjacent tasks overlap.
+        "Streams (Fermi and earlier): 1 hardware queue",
+        // Streams on Kepler+/MPS: queue per stream; two tasks run
+        // concurrently, the other two wait for full completions.
+        "Streams (Kepler and later) and MPS (Volta and later): 32 queues",
         "Ideal (software-defined order, e.g. Paella)",
-        &run(
+    ];
+    // Each submission method is an independent simulation cell.
+    let traces = paella_bench::sweep::run_grid(titles.len(), |i| match i {
+        0 => run(
+            DeviceConfig::tiny(2, 1, Microarch::Fermi),
+            |_| 1,
+            &natural_order(),
+        ),
+        1 => run(
+            DeviceConfig::tiny(2, 1, Microarch::Fermi),
+            |t| t + 1,
+            &natural_order(),
+        ),
+        2 => run(
+            DeviceConfig::tiny(2, 32, Microarch::KeplerPlus),
+            |t| t + 1,
+            &natural_order(),
+        ),
+        _ => run(
             DeviceConfig::tiny(2, 32, Microarch::KeplerPlus),
             |t| t + 1,
             &ideal_order,
         ),
-    );
+    });
+    for (title, trace) in titles.iter().zip(&traces) {
+        render(title, trace);
+    }
 
     println!(
         "\nNote: with a natural submission order, Fermi-era queues serialize all but \

@@ -40,27 +40,32 @@ fn main() {
         2_000.0, 5_000.0, 8_000.0, 11_000.0, 13_000.0, 16_000.0, 20_000.0, 25_000.0, 30_000.0,
         35_000.0,
     ];
-    for key in [SystemKey::PaellaMsJbj, SystemKey::Paella] {
+    let keys = [SystemKey::PaellaMsJbj, SystemKey::Paella];
+    // Grid: system × offered rate, one self-contained sim per cell.
+    let grid = paella_bench::sweep::run_grid(keys.len() * rates.len(), |i| {
+        let key = keys[i / rates.len()];
+        let rate = rates[i % rates.len()];
         let label = match key {
             SystemKey::PaellaMsJbj => "job-by-job",
             _ => "paella",
         };
-        for &rate in &rates {
-            let mut sys = make_system(key, DeviceConfig::gtx_1660_super(), channels(), 7);
-            let m = sys.register_model(&synthetic::fig2_job());
-            let spec = WorkloadSpec {
-                clients: 16,
-                ..WorkloadSpec::steady(rate, n)
-            };
-            let arrivals = generate(&spec, &Mix::single(m));
-            let mut stats = run_trace(sys.as_mut(), &arrivals, n / 10);
-            row(&[
-                label.to_string(),
-                f(rate),
-                f(stats.throughput),
-                f(stats.p99_us()),
-            ]);
-        }
+        let mut sys = make_system(key, DeviceConfig::gtx_1660_super(), channels(), 7);
+        let m = sys.register_model(&synthetic::fig2_job());
+        let spec = WorkloadSpec {
+            clients: 16,
+            ..WorkloadSpec::steady(rate, n)
+        };
+        let arrivals = generate(&spec, &Mix::single(m));
+        let mut stats = run_trace(sys.as_mut(), &arrivals, n / 10);
+        [
+            label.to_string(),
+            f(rate),
+            f(stats.throughput),
+            f(stats.p99_us()),
+        ]
+    });
+    for r in &grid {
+        row(r);
     }
 
     // Ablation (DESIGN.md): the §6 lookahead slack B. With single-block
@@ -74,7 +79,9 @@ fn main() {
         "p99_jct_us".into(),
     ]);
     let big = synthetic::uniform_job("b-sweep", 6, SimDuration::from_micros(150), 320);
-    for b in [0u64, 8, 24, 88, 320, 640] {
+    let slacks = [0u64, 8, 24, 88, 320, 640];
+    let ablation = paella_bench::sweep::run_grid(slacks.len(), |i| {
+        let b = slacks[i];
         let mut cfg = paella_core::DispatcherConfig::paella();
         cfg.lookahead_blocks = b;
         let mut sys = paella_core::Dispatcher::new(
@@ -91,6 +98,9 @@ fn main() {
         };
         let arrivals = generate(&spec, &Mix::single(m));
         let mut stats = run_trace(&mut sys, &arrivals, n / 20);
-        row(&[b.to_string(), f(stats.throughput), f(stats.p99_us())]);
+        [b.to_string(), f(stats.throughput), f(stats.p99_us())]
+    });
+    for r in &ablation {
+        row(r);
     }
 }

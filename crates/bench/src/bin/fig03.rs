@@ -50,9 +50,13 @@ fn main() {
         "batch1_overhead_pct".into(),
         "batch64_overhead_pct".into(),
     ]);
-    for m in MODELS {
-        let b1 = overhead_pct(m, 1);
-        let b64 = overhead_pct(m, 64);
-        row(&[m.to_string(), f(b1), f(b64)]);
+    // Grid: model × batch size, each cell an isolated Triton run.
+    let grid = paella_bench::sweep::run_grid(MODELS.len() * 2, |i| {
+        let m = MODELS[i / 2];
+        let batch = if i % 2 == 0 { 1 } else { 64 };
+        overhead_pct(m, batch)
+    });
+    for (i, m) in MODELS.iter().enumerate() {
+        row(&[m.to_string(), f(grid[2 * i]), f(grid[2 * i + 1])]);
     }
 }

@@ -85,15 +85,22 @@ fn main() {
         "paella_ms".into(),
     ]);
     let cuda = channels().cuda;
-    for streams in [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
-        let cb = direct_sync_total(streams, cuda.stream_callback);
-        let sync = direct_sync_total(streams, cuda.stream_synchronize);
-        let paella = paella_total(streams);
+    let stream_counts = [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20];
+    // Grid: stream count × method (callback / streamsync / paella).
+    let grid = paella_bench::sweep::run_grid(stream_counts.len() * 3, |i| {
+        let streams = stream_counts[i / 3];
+        match i % 3 {
+            0 => direct_sync_total(streams, cuda.stream_callback),
+            1 => direct_sync_total(streams, cuda.stream_synchronize),
+            _ => paella_total(streams),
+        }
+    });
+    for (i, streams) in stream_counts.iter().enumerate() {
         row(&[
             streams.to_string(),
-            f(cb.as_millis_f64()),
-            f(sync.as_millis_f64()),
-            f(paella.as_millis_f64()),
+            f(grid[3 * i].as_millis_f64()),
+            f(grid[3 * i + 1].as_millis_f64()),
+            f(grid[3 * i + 2].as_millis_f64()),
         ]);
     }
 }

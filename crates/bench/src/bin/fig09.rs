@@ -17,8 +17,10 @@ fn main() {
     let mut zoo = zoo();
     let model = zoo.get("mnist").clone();
     let n = scaled(4_000);
-    let mut series = Vec::new();
-    for delay_us in [0.0f64, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0] {
+    let delays = [0.0f64, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0];
+    // One saturation run per injected-delay point.
+    let grid = paella_bench::sweep::run_grid(delays.len(), |i| {
+        let delay_us = delays[i];
         let mut sys = make_paella_with_delay(
             device(),
             channels(),
@@ -34,8 +36,12 @@ fn main() {
         };
         let arrivals = generate(&spec, &Mix::single(id));
         let stats = run_trace(sys.as_mut(), &arrivals, n / 10);
-        row(&[f(delay_us), f(stats.throughput)]);
-        series.push((delay_us.max(0.01).log10(), stats.throughput));
+        stats.throughput
+    });
+    let mut series = Vec::new();
+    for (&delay_us, &throughput) in delays.iter().zip(&grid) {
+        row(&[f(delay_us), f(throughput)]);
+        series.push((delay_us.max(0.01).log10(), throughput));
     }
     println!();
     paella_bench::chart::print_xy_chart(

@@ -33,7 +33,9 @@ fn main() {
         SystemKey::PaellaSjf,
         SystemKey::PaellaRr,
     ];
-    for key in systems {
+    // One isolated-request run per compared system.
+    let grid = paella_bench::sweep::run_grid(systems.len(), |i| {
+        let key = systems[i];
         let mut sys = make_system(key, device(), channels(), 17);
         let id = sys.register_model(&model);
         // Average over several isolated requests (spaced far apart so no
@@ -49,13 +51,16 @@ fn main() {
         let done = sys.drain_completions();
         assert_eq!(done.len(), 20, "{}", key.key());
         let b = average_breakdown(&done);
-        row(&[
+        [
             key.key().to_string(),
             f(b.framework),
             f(b.queuing_scheduling),
             f(b.communication),
             f(b.client_send_recv),
             f(b.overhead()),
-        ]);
+        ]
+    });
+    for r in &grid {
+        row(r);
     }
 }

@@ -37,40 +37,49 @@ fn main() {
     ];
     let n = scaled(1_500);
     let rates = [50.0, 100.0, 150.0, 225.0, 300.0, 400.0];
-    for &sigma in &[1.5, 2.0] {
-        for key in systems {
-            for &rate in &rates {
-                let mut sys = make_system(key, device(), channels(), 29);
-                let short = sys.register_model(&short_model);
-                let long = sys.register_model(&long_model);
-                let mix = Mix::weighted(vec![(short, ratio), (long, 1.0)]);
-                // MPS supports only a handful of client processes (§7 note).
-                let clients = if key == SystemKey::Mps { 7 } else { 8 };
-                let spec = WorkloadSpec {
-                    sigma,
-                    clients,
-                    ..WorkloadSpec::steady(rate, n)
-                };
-                let arrivals = generate(&spec, &mix);
-                let mut stats = run_trace(sys.as_mut(), &arrivals, n / 10);
-                let rows = [
-                    ("All".to_string(), Some(stats.p99_us())),
-                    ("ResNet-18".to_string(), stats.model_p99_us(short)),
-                    ("InceptionV3".to_string(), stats.model_p99_us(long)),
-                ];
-                for (label, p99) in rows {
-                    if let Some(p99) = p99 {
-                        row(&[
-                            f(sigma),
-                            key.key().to_string(),
-                            label,
-                            f(rate),
-                            f(stats.throughput),
-                            f(p99 / 1_000.0),
-                        ]);
-                    }
-                }
+    let sigmas = [1.5, 2.0];
+    // Grid: sigma × system × rate; each cell returns its full row block.
+    let cells = sigmas.len() * systems.len() * rates.len();
+    let grid = paella_bench::sweep::run_grid(cells, |i| {
+        let sigma = sigmas[i / (systems.len() * rates.len())];
+        let key = systems[(i / rates.len()) % systems.len()];
+        let rate = rates[i % rates.len()];
+        let mut sys = make_system(key, device(), channels(), 29);
+        let short = sys.register_model(&short_model);
+        let long = sys.register_model(&long_model);
+        let mix = Mix::weighted(vec![(short, ratio), (long, 1.0)]);
+        // MPS supports only a handful of client processes (§7 note).
+        let clients = if key == SystemKey::Mps { 7 } else { 8 };
+        let spec = WorkloadSpec {
+            sigma,
+            clients,
+            ..WorkloadSpec::steady(rate, n)
+        };
+        let arrivals = generate(&spec, &mix);
+        let mut stats = run_trace(sys.as_mut(), &arrivals, n / 10);
+        let labelled = [
+            ("All".to_string(), Some(stats.p99_us())),
+            ("ResNet-18".to_string(), stats.model_p99_us(short)),
+            ("InceptionV3".to_string(), stats.model_p99_us(long)),
+        ];
+        let mut rows = Vec::new();
+        for (label, p99) in labelled {
+            if let Some(p99) = p99 {
+                rows.push([
+                    f(sigma),
+                    key.key().to_string(),
+                    label,
+                    f(rate),
+                    f(stats.throughput),
+                    f(p99 / 1_000.0),
+                ]);
             }
+        }
+        rows
+    });
+    for block in &grid {
+        for r in block {
+            row(r);
         }
     }
 }

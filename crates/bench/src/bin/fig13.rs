@@ -22,12 +22,13 @@ fn main() {
     let short = synthetic::uniform_job("short-5k", 8, SimDuration::from_micros(250), 88);
     let long = synthetic::uniform_job("long-5k", 40, SimDuration::from_micros(250), 88);
     let n = scaled(1_500);
-    let mut short_series = Vec::new();
-    let mut long_series = Vec::new();
-    for &threshold in &[
+    let thresholds = [
         500.0, 400.0, 300.0, 200.0, 150.0, 125.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0, 30.0, 10.0,
         0.5,
-    ] {
+    ];
+    // One contended run per fairness-threshold point.
+    let grid = paella_bench::sweep::run_grid(thresholds.len(), |i| {
+        let threshold = thresholds[i];
         let mut sys = make_paella_with_fairness(device(), channels(), Some(threshold), 31);
         let s = sys.register_model(&short);
         let l = sys.register_model(&long);
@@ -45,6 +46,11 @@ fn main() {
         let stats = run_trace(sys.as_mut(), &arrivals, n / 10);
         let short_mean = stats.model_mean_us(s).unwrap_or(f64::NAN) / 1_000.0;
         let long_mean = stats.model_mean_us(l).unwrap_or(f64::NAN) / 1_000.0;
+        (short_mean, long_mean)
+    });
+    let mut short_series = Vec::new();
+    let mut long_series = Vec::new();
+    for (&threshold, &(short_mean, long_mean)) in thresholds.iter().zip(&grid) {
         row(&[f(threshold), f(short_mean), f(long_mean)]);
         // The paper draws the axis reversed (less fair on the left); negate
         // so the chart reads the same way.

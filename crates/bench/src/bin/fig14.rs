@@ -47,12 +47,13 @@ fn main() {
         "cpu_utilization_pct".into(),
         "mean_latency_us".into(),
     ]);
-    let (socket_util, socket_lat) = run(WakeupMode::Socket);
-    let (poll_util, poll_lat) = run(WakeupMode::Polling);
-    let (hybrid_util, hybrid_lat) = run(WakeupMode::Hybrid);
-    row(&["baseline-socket".into(), f(socket_util), f(socket_lat)]);
-    row(&["polling".into(), f(poll_util), f(poll_lat)]);
-    row(&["paella-hybrid".into(), f(hybrid_util), f(hybrid_lat)]);
+    // One run per delivery protocol.
+    let modes = [WakeupMode::Socket, WakeupMode::Polling, WakeupMode::Hybrid];
+    let grid = paella_bench::sweep::run_grid(modes.len(), |i| run(modes[i]));
+    let labels = ["baseline-socket", "polling", "paella-hybrid"];
+    for (label, &(util, lat)) in labels.iter().zip(&grid) {
+        row(&[label.to_string(), f(util), f(lat)]);
+    }
     println!(
         "# paper: socket and polling sit at the extremes; hybrid averages ~23% \
          and sacrifices no appreciable latency vs polling, while the socket \

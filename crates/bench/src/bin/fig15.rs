@@ -74,9 +74,13 @@ fn main() {
         ("agg-16blk", 16, Some(InstrumentationSpec::default())),
         ("agg-160blk", 160, Some(InstrumentationSpec::default())),
     ];
+    // One repeated-execution CDF per instrumentation variant.
+    let grid = paella_bench::sweep::run_grid(variants.len(), |i| {
+        let (_, blocks, instr) = variants[i];
+        exec_times(blocks, instr, runs)
+    });
     let mut p90s = Vec::new();
-    for (name, blocks, instr) in variants {
-        let mut p = exec_times(blocks, instr, runs);
+    for ((name, _, _), mut p) in variants.into_iter().zip(grid) {
         for (v, frac) in p.cdf(25) {
             row(&[name.to_string(), f(frac), f(v)]);
         }
@@ -106,20 +110,25 @@ fn main() {
         "p90_exec_us".into(),
         "notif_words_per_phase".into(),
     ]);
-    for agg in [1u32, 4, 8, 16, 32] {
-        let spec = if agg == 1 {
+    let aggs = [1u32, 4, 8, 16, 32];
+    let spec_for = |agg: u32| {
+        if agg == 1 {
             InstrumentationSpec::without_aggregation()
         } else {
             InstrumentationSpec {
                 aggregation: agg,
                 ..InstrumentationSpec::default()
             }
-        };
-        let mut p = exec_times(160, Some(spec), runs / 2);
+        }
+    };
+    let ablation = paella_bench::sweep::run_grid(aggs.len(), |i| {
+        exec_times(160, Some(spec_for(aggs[i])), runs / 2)
+    });
+    for (&agg, mut p) in aggs.iter().zip(ablation) {
         row(&[
             agg.to_string(),
             f(p.quantile(0.9).unwrap()),
-            spec.notifications_for(160).to_string(),
+            spec_for(agg).notifications_for(160).to_string(),
         ]);
     }
 }

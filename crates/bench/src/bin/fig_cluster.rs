@@ -17,14 +17,14 @@ const POLICIES: [RoutingPolicy; 4] = [
     RoutingPolicy::LeastRemainingWork,
 ];
 
-fn print_point(nodes: usize, policy: RoutingPolicy, spec: &ClusterExpSpec) {
+fn point_row(nodes: usize, policy: RoutingPolicy, spec: &ClusterExpSpec) -> [String; 4] {
     let r = run_cluster_point(&smoke_models(), spec);
-    row(&[
+    [
         nodes.to_string(),
         policy.as_str().to_string(),
         format!("{:.0}", r.offered),
         r.row(),
-    ]);
+    ]
 }
 
 fn main() {
@@ -42,27 +42,36 @@ fn main() {
     if smoke {
         // The committed configuration, verbatim — CI checks this output is
         // deterministic and the tests assert the policy ordering on it.
-        for policy in POLICIES {
+        let grid = paella_bench::sweep::run_grid(POLICIES.len(), |i| {
+            let policy = POLICIES[i];
             let spec = ClusterExpSpec::smoke(policy);
-            print_point(spec.nodes, policy, &spec);
+            point_row(spec.nodes, policy, &spec)
+        });
+        for r in &grid {
+            row(r);
         }
         return;
     }
     // Full sweep: fleet size x offered load (per node, so the x-axis is
     // comparable across fleet sizes) x policy.
     let requests = scaled(700);
-    for &nodes in &[2usize, 4, 8] {
-        for &rate_per_node in &[800.0, 1_100.0, 1_300.0, 1_450.0] {
-            for policy in POLICIES {
-                let spec = ClusterExpSpec {
-                    nodes,
-                    rate_per_sec: rate_per_node * nodes as f64,
-                    requests,
-                    warmup: requests / 7,
-                    ..ClusterExpSpec::smoke(policy)
-                };
-                print_point(nodes, policy, &spec);
-            }
-        }
+    let fleets = [2usize, 4, 8];
+    let rates = [800.0, 1_100.0, 1_300.0, 1_450.0];
+    let cells = fleets.len() * rates.len() * POLICIES.len();
+    let grid = paella_bench::sweep::run_grid(cells, |i| {
+        let nodes = fleets[i / (rates.len() * POLICIES.len())];
+        let rate_per_node = rates[(i / POLICIES.len()) % rates.len()];
+        let policy = POLICIES[i % POLICIES.len()];
+        let spec = ClusterExpSpec {
+            nodes,
+            rate_per_sec: rate_per_node * nodes as f64,
+            requests,
+            warmup: requests / 7,
+            ..ClusterExpSpec::smoke(policy)
+        };
+        point_row(nodes, policy, &spec)
+    });
+    for r in &grid {
+        row(r);
     }
 }

@@ -18,15 +18,20 @@ fn main() {
         "graph_nodes".into(),
         "kernels".into(),
     ]);
-    let mut zoo = ModelZoo::new(device());
-    for e in registry() {
+    let entries = registry();
+    // One calibration + uncontended measurement per model. Each cell builds
+    // its own zoo: calibration is deterministic per model, so per-cell zoos
+    // and a shared one produce identical numbers.
+    let grid = paella_bench::sweep::run_grid(entries.len(), |i| {
+        let e = &entries[i];
+        let mut zoo = ModelZoo::new(device());
         let model = zoo.get(e.name).clone();
         let measured = measure_uncontended(&model, &device());
         let target_ms = e.target_exec.as_millis_f64();
         let measured_ms = measured.as_millis_f64();
         let err = (measured_ms - target_ms).abs() / target_ms * 100.0;
         let nodes = (e.build)().len();
-        row(&[
+        [
             e.display.to_string(),
             f(target_ms),
             f(measured_ms),
@@ -34,6 +39,9 @@ fn main() {
             f(e.size_bytes as f64 / (1 << 20) as f64),
             nodes.to_string(),
             model.kernel_count().to_string(),
-        ]);
+        ]
+    });
+    for r in &grid {
+        row(r);
     }
 }

@@ -22,29 +22,34 @@ fn main() {
         "Chrome-trace export of a small contended workload (fixed seed)",
     );
 
-    let mut sys = Dispatcher::new(
-        DeviceConfig::gtx_1660_super(),
-        channels(),
-        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
-        DispatcherConfig::paella(),
-        7,
-    );
-    sys.enable_telemetry();
+    // A single cell on the sweep harness — the output contract (same seed ⇒
+    // byte-identical trace) is the same one every grid cell satisfies.
+    let mut grid = paella_bench::sweep::run_grid(1, |_| {
+        let mut sys = Dispatcher::new(
+            DeviceConfig::gtx_1660_super(),
+            channels(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            DispatcherConfig::paella(),
+            7,
+        );
+        sys.enable_telemetry();
 
-    // Two model classes sharing the device: the paper's Fig. 2 job (eight
-    // dependent ~300 µs kernels) against a small latency-sensitive job, so
-    // the trace shows queuing, deficit overrides, and occupancy holds.
-    let big = ServingSystem::register_model(&mut sys, &synthetic::fig2_job());
-    let small = ServingSystem::register_model(
-        &mut sys,
-        &synthetic::uniform_job("small", 2, SimDuration::from_micros(40), 4),
-    );
-    let spec = WorkloadSpec {
-        clients: 8,
-        ..WorkloadSpec::steady(9_000.0, 120)
-    };
-    let arrivals = generate(&spec, &Mix::uniform(&[big, small]));
-    let stats = run_trace(&mut sys, &arrivals, 0);
+        // Two model classes sharing the device: the paper's Fig. 2 job (eight
+        // dependent ~300 µs kernels) against a small latency-sensitive job, so
+        // the trace shows queuing, deficit overrides, and occupancy holds.
+        let big = ServingSystem::register_model(&mut sys, &synthetic::fig2_job());
+        let small = ServingSystem::register_model(
+            &mut sys,
+            &synthetic::uniform_job("small", 2, SimDuration::from_micros(40), 4),
+        );
+        let spec = WorkloadSpec {
+            clients: 8,
+            ..WorkloadSpec::steady(9_000.0, 120)
+        };
+        let arrivals = generate(&spec, &Mix::uniform(&[big, small]));
+        run_trace(&mut sys, &arrivals, 0)
+    });
+    let stats = grid.pop().expect("one cell");
 
     let trace = stats.trace.as_ref().expect("telemetry was enabled");
     let json = chrome_trace_json(trace);

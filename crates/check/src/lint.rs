@@ -8,6 +8,10 @@
 //!   `crates/core`, `crates/gpu`, `crates/cluster`) runs on virtual time;
 //!   `Instant` and `SystemTime` are banned outright. Wall-clock reads there
 //!   silently break determinism and reproducibility of every experiment.
+//!   The bench crate is covered too — figure binaries are deterministic
+//!   grids now — except the two allowlisted harness files
+//!   (`crates/bench/src/sweep.rs`, `crates/bench/src/bin/perf.rs`), which
+//!   measure how long *we* take, never what the simulation observes.
 //! * **R2 `relaxed-needs-justification`** — every `Ordering::Relaxed` in
 //!   `crates/channels` must carry a `relaxed:` justification comment (same
 //!   line, or the comment block above the statement). A relaxed access
@@ -310,14 +314,22 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
         });
     };
 
+    // Wall-clock allowlist: the sweep harness and the perf baseline binary
+    // time the *host* by design. Nothing else in bench (or the sim stack)
+    // may read the clock — cells must stay deterministic at every thread
+    // count.
+    let wall_clock_allowed =
+        path == "crates/bench/src/sweep.rs" || path == "crates/bench/src/bin/perf.rs";
     let sim_stack = [
         "crates/sim/src/",
         "crates/core/src/",
         "crates/gpu/src/",
         "crates/cluster/src/",
+        "crates/bench/src/",
     ]
     .iter()
-    .any(|p| path.starts_with(p));
+    .any(|p| path.starts_with(p))
+        && !wall_clock_allowed;
     let channels = path.starts_with("crates/channels/src/");
     let hot_path =
         path == "crates/core/src/dispatcher.rs" || path.starts_with("crates/cluster/src/");
@@ -479,6 +491,19 @@ mod tests {
         assert_eq!(lint_source("crates/gpu/src/x.rs", src).len(), 1);
         assert_eq!(lint_source("crates/cluster/src/router.rs", src).len(), 1);
         assert!(lint_source("crates/channels/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_bench_flagged_except_harness_allowlist() {
+        let src = "use std::time::Instant;\n";
+        // Figure binaries and bench lib code are deterministic grid cells:
+        // wall-clock is a lint error there.
+        assert_eq!(lint_source("crates/bench/src/bin/fig02.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/bench/src/lib.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/bench/src/chart.rs", src).len(), 1);
+        // The harness and the perf baseline measure the host on purpose.
+        assert!(lint_source("crates/bench/src/sweep.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/bin/perf.rs", src).is_empty());
     }
 
     #[test]

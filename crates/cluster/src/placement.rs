@@ -109,7 +109,7 @@ mod tests {
 
     fn weighted(name: &str, weight: u64) -> CompiledModel {
         CompiledModel {
-            name: name.to_string(),
+            name: name.to_string().into(),
             ops: Vec::new(),
             schedule: None,
             input_bytes: 0,

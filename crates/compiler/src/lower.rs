@@ -173,7 +173,7 @@ pub fn lower_group(
 
     LoweredKernel {
         desc: KernelDesc {
-            name: kernel_name(&anchor.op, out_shape),
+            name: kernel_name(&anchor.op, out_shape).into(),
             grid_blocks,
             footprint: BlockFootprint {
                 threads: threads_per_block,

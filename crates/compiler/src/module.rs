@@ -41,8 +41,11 @@ pub struct JobSchedule {
 /// [`JobSchedule`] lets independent branches run on parallel streams.
 #[derive(Clone, Debug)]
 pub struct CompiledModel {
-    /// Model name as registered with the serving system.
-    pub name: String,
+    /// Model name as registered with the serving system. Interned as
+    /// `Arc<str>` so every layer that labels per-job or per-kernel events
+    /// (dispatcher telemetry, placement reports) shares one allocation
+    /// instead of cloning a `String` per request.
+    pub name: std::sync::Arc<str>,
     /// Ordered device operations.
     pub ops: Vec<DeviceOp>,
     /// Optional multi-stream schedule; `None` means sequential single-stream.
@@ -129,7 +132,7 @@ pub fn compile(name: &str, graph: &Graph, cost: &CostModel, calibration: f64) ->
     });
 
     CompiledModel {
-        name: name.to_string(),
+        name: name.into(),
         ops,
         schedule: None,
         input_bytes,

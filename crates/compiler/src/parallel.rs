@@ -153,7 +153,7 @@ pub fn compile_parallel(
     };
 
     CompiledModel {
-        name: name.to_string(),
+        name: name.into(),
         ops,
         schedule: Some(JobSchedule { streams, deps }),
         input_bytes,

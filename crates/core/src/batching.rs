@@ -90,7 +90,7 @@ impl<S: ServingSystem> SaturationBatcher<S> {
         }
         let scale = 0.35 + 0.65 * b as f64;
         let mut m = model.clone();
-        m.name = format!("{}@b{b}", m.name);
+        m.name = format!("{}@b{b}", m.name).into();
         for op in &mut m.ops {
             match op {
                 DeviceOp::Kernel(k) => k.duration.base = k.duration.base.mul_f64(scale),
@@ -292,7 +292,7 @@ mod tests {
     fn model() -> CompiledModel {
         use paella_gpu::{BlockFootprint, DurationModel, KernelDesc};
         let kernel = KernelDesc {
-            name: "bt_op".to_string(),
+            name: "bt_op".to_string().into(),
             grid_blocks: 200, // a device-filling kernel: batching pays off
             footprint: BlockFootprint {
                 threads: 128,
@@ -303,7 +303,7 @@ mod tests {
             instrumentation: None,
         };
         CompiledModel {
-            name: "bt".to_string(),
+            name: "bt".to_string().into(),
             ops: vec![
                 DeviceOp::InputCopy { bytes: 4096 },
                 DeviceOp::Kernel(kernel.clone()),

@@ -209,6 +209,12 @@ struct RegisteredModel {
     profile: ModelProfile,
     /// Uncontended device execution time (for breakdown reporting).
     uncontended: SimDuration,
+    /// Per-kernel-location `Σ_jobs max(0, C̄_i − done_i)` over this model's
+    /// in-flight jobs — the expected executions still owed to the device.
+    /// Maintained at ingest / kernel dispatch / job retire so the
+    /// [`LoadSignal`](crate::types::LoadSignal) remaining-work aggregate
+    /// updates in O(1) per event instead of rescanning every job per poll.
+    left: Vec<f64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -334,6 +340,14 @@ pub struct Dispatcher {
     /// their profiled total estimates (the queued half of [`LoadSignal`]).
     queued_ingest: u64,
     queued_work: SimDuration,
+    /// The in-flight half of [`LoadSignal`]: `Σ_jobs Σ_i max(0, C̄_i −
+    /// done_i) · T̄_i` in microseconds, maintained incrementally alongside
+    /// each model's `left` vector (invariant: `inflight_work_us = Σ_models
+    /// Σ_i left_i · T̄_i`). Updated at ingest (+fresh estimate), kernel
+    /// dispatch (−one execution), online profile refinement (±left·ΔT̄),
+    /// and job retire (−residual), so `load_signal()` is O(1) instead of
+    /// O(in-flight jobs) per router poll.
+    inflight_work_us: f64,
     now: SimTime,
     /// Structured telemetry sink for host-side events (no-op by default).
     tracer: Tracer,
@@ -390,6 +404,7 @@ impl Dispatcher {
             cpu_busy: SimDuration::ZERO,
             queued_ingest: 0,
             queued_work: SimDuration::ZERO,
+            inflight_work_us: 0.0,
             now: SimTime::ZERO,
             tracer: Tracer::disabled(),
             metrics: None,
@@ -454,10 +469,12 @@ impl Dispatcher {
         let profile = bootstrap_profile(model);
         let uncontended = paella_models_measure(&compiled, self.gpu.config());
         let id = ModelId(self.models.len() as u32);
+        let left = vec![0.0; profile.kernels.len()];
         self.models.push(RegisteredModel {
             model: compiled,
             profile,
             uncontended,
+            left,
         });
         id
     }
@@ -492,17 +509,98 @@ impl Dispatcher {
     /// the same per-job `profile.remaining(done_counts)` quantity the
     /// scheduler ranks on, so a cluster router reading it routes on exactly
     /// what the node's scheduler will see.
+    /// O(1): the remaining-work sum is maintained incrementally (see
+    /// [`Self::inflight_work_us`]) rather than recomputed by scanning every
+    /// in-flight job — this sits on the cluster router's per-poll path.
     pub fn load_signal(&self) -> crate::types::LoadSignal {
-        let mut remaining = self.queued_work;
-        for job in self.jobs.values() {
-            let idx = job.request.model.0 as usize;
-            remaining += self.models[idx].profile.remaining(&job.done_counts);
-        }
         crate::types::LoadSignal {
             queued: self.queued_ingest,
             inflight: self.jobs.len() as u64,
-            remaining_work: remaining,
+            remaining_work: self.queued_work
+                + SimDuration::from_micros_f64(self.inflight_work_us.max(0.0)),
         }
+    }
+
+    /// From-scratch recomputation of the in-flight remaining-work sum, in
+    /// microseconds: the O(in-flight jobs) scan `load_signal` used to do.
+    /// Kept as the verification oracle for the incremental aggregate (the
+    /// two are equal up to float-summation-order rounding).
+    #[doc(hidden)]
+    pub fn inflight_work_scratch_us(&self) -> f64 {
+        self.jobs
+            .values()
+            .map(|job| {
+                let idx = job.request.model.0 as usize;
+                self.models[idx]
+                    .profile
+                    .remaining(&job.done_counts)
+                    .as_micros_f64()
+            })
+            .sum()
+    }
+
+    /// The incrementally-maintained in-flight remaining-work sum, in
+    /// microseconds (verification hook for tests).
+    #[doc(hidden)]
+    pub fn inflight_work_incremental_us(&self) -> f64 {
+        self.inflight_work_us
+    }
+
+    // -- incremental LoadSignal maintenance ---------------------------------
+
+    /// Credits a freshly ingested job of `model_idx`: every kernel location
+    /// still owes its full expected executions.
+    fn load_add_job(&mut self, model_idx: usize) {
+        let rm = &mut self.models[model_idx];
+        for loc in 0..rm.profile.kernels.len() {
+            let kp = &rm.profile.kernels[loc];
+            let owed = kp.count.mean().max(0.0);
+            let t = kp.time_us.mean();
+            rm.left[loc] += owed;
+            self.inflight_work_us += owed * t;
+        }
+    }
+
+    /// Debits one dispatched execution of kernel `loc`: `done` is the
+    /// pre-dispatch count, so the clamped expected-executions delta is
+    /// `max(0, C̄−done) − max(0, C̄−done−1)`.
+    fn load_on_kernel_dispatch(&mut self, model_idx: usize, loc: usize, done: u32) {
+        let rm = &mut self.models[model_idx];
+        let kp = &rm.profile.kernels[loc];
+        let cbar = kp.count.mean();
+        let d = (cbar - f64::from(done)).max(0.0) - (cbar - f64::from(done + 1)).max(0.0);
+        let t = kp.time_us.mean();
+        rm.left[loc] -= d;
+        self.inflight_work_us -= d * t;
+    }
+
+    /// Debits a retired job's residual (usually zero: every kernel has
+    /// dispatched by completion) and, once the dispatcher is fully idle,
+    /// snaps the aggregate back to exactly zero so float rounding from one
+    /// burst can never drift into the next.
+    fn load_remove_job(&mut self, model_idx: usize, done_counts: &[u32]) {
+        let rm = &mut self.models[model_idx];
+        for (loc, &done) in done_counts.iter().enumerate() {
+            let kp = &rm.profile.kernels[loc];
+            let d = (kp.count.mean() - f64::from(done)).max(0.0);
+            let t = kp.time_us.mean();
+            rm.left[loc] -= d;
+            self.inflight_work_us -= d * t;
+        }
+        if self.jobs.is_empty() {
+            self.inflight_work_us = 0.0;
+            for rm in &mut self.models {
+                rm.left.fill(0.0);
+            }
+        }
+    }
+
+    /// Reprices `left[loc]` executions after an online profile refinement
+    /// moved kernel `loc`'s mean time from `old_us` to its current value.
+    fn load_on_profile_refined(&mut self, model_idx: usize, loc: usize, old_us: f64) {
+        let rm = &self.models[model_idx];
+        let new_us = rm.profile.kernels[loc].time_us.mean();
+        self.inflight_work_us += rm.left[loc] * (new_us - old_us);
     }
 
     /// Submits an inference request (the client's `paella.predict`). The
@@ -772,6 +870,7 @@ impl Dispatcher {
             released_bits: std::collections::HashSet::new(),
         };
         self.jobs.insert(id, job);
+        self.load_add_job(model_idx);
         self.assign_stream(id);
 
         match self.cfg.granularity {
@@ -953,6 +1052,10 @@ impl Dispatcher {
                 self.gpu
                     .launch_kernel(at, KernelLaunch { uid, stream, desc });
                 let last = self.is_last_op(id, token);
+                // Debit the load aggregate with the pre-dispatch count.
+                let done_before = self.jobs[&id].done_counts[loc];
+                let model_idx = self.jobs[&id].request.model.0 as usize;
+                self.load_on_kernel_dispatch(model_idx, loc, done_before);
                 // invariant: the indexing borrow of self.jobs[&id] at function
                 // entry proved the job present; nothing above removes it.
                 let j = self.jobs.get_mut(&id).expect("job exists");
@@ -1189,9 +1292,13 @@ impl Dispatcher {
                         let j = &self.jobs[&job];
                         if let OpKind::Kernel(loc) = j.ops[token as usize] {
                             let model = j.request.model.0 as usize;
+                            let old_us = self.models[model].profile.kernels[loc].time_us.mean();
                             self.models[model]
                                 .profile
                                 .observe_kernel(loc, at.saturating_since(started));
+                            // The refined mean reprices everyone's still-owed
+                            // executions of this kernel in the load aggregate.
+                            self.load_on_profile_refined(model, loc, old_us);
                         }
                     }
                     self.complete_op(job, token, at);
@@ -1267,6 +1374,7 @@ impl Dispatcher {
         // invariant: the only caller just indexed self.jobs[&id] to test
         // done(), and jobs are removed nowhere else.
         let j = self.jobs.remove(&id).expect("finishing unknown job");
+        self.load_remove_job(j.request.model.0 as usize, &j.done_counts);
         self.scheduler.job_done(id);
         if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
             *n -= 1;

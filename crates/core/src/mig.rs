@@ -236,7 +236,7 @@ mod tests {
 
     fn toy_model(name: &str, kernels: u32, us: u64) -> CompiledModel {
         let kernel = KernelDesc {
-            name: format!("{name}_op"),
+            name: format!("{name}_op").into(),
             grid_blocks: 32,
             footprint: BlockFootprint {
                 threads: 128,
@@ -247,7 +247,7 @@ mod tests {
             instrumentation: None,
         };
         CompiledModel {
-            name: name.to_string(),
+            name: name.to_string().into(),
             ops: std::iter::once(paella_compiler::DeviceOp::InputCopy { bytes: 64 })
                 .chain((0..kernels).map(|_| paella_compiler::DeviceOp::Kernel(kernel.clone())))
                 .chain(std::iter::once(paella_compiler::DeviceOp::OutputCopy {

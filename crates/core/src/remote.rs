@@ -193,7 +193,7 @@ mod tests {
 
     fn model(input: usize) -> paella_compiler::CompiledModel {
         let kernel = KernelDesc {
-            name: "r".to_string(),
+            name: "r".to_string().into(),
             grid_blocks: 16,
             footprint: BlockFootprint {
                 threads: 128,
@@ -204,7 +204,7 @@ mod tests {
             instrumentation: None,
         };
         paella_compiler::CompiledModel {
-            name: "remote-test".to_string(),
+            name: "remote-test".to_string().into(),
             ops: vec![
                 paella_compiler::DeviceOp::InputCopy { bytes: input },
                 paella_compiler::DeviceOp::Kernel(kernel),

@@ -297,7 +297,10 @@ impl SrptDeficitScheduler {
     }
 
     /// The client currently over the fairness threshold with the highest
-    /// deficit, if any, among clients with ready jobs.
+    /// deficit, if any, among clients with ready jobs. Exact-deficit ties
+    /// break on the lower client id: `clients` is a `HashMap` whose
+    /// iteration order is seeded per process, so an order-dependent argmax
+    /// would make same-seed runs differ across processes.
     fn over_threshold_client(&self) -> Option<ClientId> {
         let threshold = self.threshold?;
         let mut best: Option<(f64, ClientId)> = None;
@@ -306,7 +309,7 @@ impl SrptDeficitScheduler {
                 continue;
             }
             let d = s.raw_deficit - self.baseline;
-            if d > threshold && best.is_none_or(|(bd, _)| d > bd) {
+            if d > threshold && best.is_none_or(|(bd, bc)| d > bd || (d == bd && c < bc)) {
                 best = Some((d, c));
             }
         }
@@ -517,6 +520,22 @@ mod tests {
         s.job_ready(info(7, 0, 0, 10, 10));
         s.job_ready(info(3, 1, 0, 10, 10));
         assert_eq!(s.pick_next(), Some(JobId(3)), "lower job id wins ties");
+    }
+
+    #[test]
+    fn deficit_override_tie_breaks_on_lower_client_id() {
+        // Both clients sit at deficit 0, over a (pathological) negative
+        // threshold, so the override argmax sees an exact tie. It must pick
+        // the lower client id, never HashMap iteration order: that order is
+        // seeded per process and would break same-seed reproducibility.
+        let mut s = SrptDeficitScheduler::new(Some(-0.5));
+        s.job_ready(info(1, 7, 10, 100, 100));
+        s.job_ready(info(2, 3, 20, 200, 5));
+        // SRPT alone would pick job 2 (5 µs remaining); the tied override
+        // must pick client 3's oldest job — job 2 belongs to client 3, so
+        // give client 3 an older job too.
+        s.job_ready(info(4, 3, 5, 300, 300));
+        assert_eq!(s.pick_next(), Some(JobId(4)), "client 3's oldest job");
     }
 
     #[test]

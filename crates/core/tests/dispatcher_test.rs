@@ -516,7 +516,7 @@ fn copy_only_job_completes() {
     // identity model). The waitlist and completion paths must still work.
     use paella_compiler::{CompiledModel, DeviceOp};
     let model = CompiledModel {
-        name: "identity".to_string(),
+        name: "identity".to_string().into(),
         ops: vec![
             DeviceOp::InputCopy { bytes: 1 << 20 },
             DeviceOp::OutputCopy { bytes: 1 << 20 },

@@ -146,6 +146,76 @@ proptest! {
         }
     }
 
+    /// The incrementally maintained `LoadSignal` remaining-work aggregate
+    /// stays equal to the from-scratch O(jobs) recomputation across random
+    /// ingest / kernel-completion / job-retire interleavings — including
+    /// online profile refinements that reprice still-owed kernels — up to
+    /// float summation-order rounding.
+    #[test]
+    fn incremental_load_signal_matches_scratch(
+        seed in any::<u64>(),
+        // (model choice, client, gap µs) per submitted request.
+        reqs in proptest::collection::vec((0usize..3, 0u32..4, 0u64..400), 1..40),
+        // Event-steps to advance between submission bursts.
+        bursts in proptest::collection::vec(1usize..30, 1..6),
+    ) {
+        let mut d = paella_core::Dispatcher::new(
+            paella_gpu::DeviceConfig::tesla_t4(),
+            paella_channels::ChannelConfig::default(),
+            Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+            paella_core::DispatcherConfig::paella(),
+            seed,
+        );
+        let models = [
+            d.register_model(&paella_models::synthetic::fig2_job()),
+            d.register_model(&paella_models::synthetic::tiny_model(
+                SimDuration::from_micros(120),
+            )),
+            d.register_model(&paella_models::synthetic::uniform_job(
+                "u", 5, SimDuration::from_micros(80), 8,
+            )),
+        ];
+        let check = |d: &paella_core::Dispatcher| {
+            let inc = d.inflight_work_incremental_us();
+            let scratch = d.inflight_work_scratch_us();
+            // The scratch oracle quantizes each job's remaining time to whole
+            // nanoseconds (SimDuration), so allow 1 ns per in-flight job on
+            // top of float summation-order rounding.
+            let tol = 1e-6 * scratch.abs().max(1.0) + 1e-3 * (d.inflight() as f64 + 1.0);
+            (inc, scratch, (inc - scratch).abs() <= tol)
+        };
+        let mut at = SimTime::ZERO;
+        let mut pending = reqs.as_slice();
+        for &steps in &bursts {
+            let take = pending.len().div_ceil(bursts.len()).max(1).min(pending.len());
+            let (now, rest) = pending.split_at(take);
+            pending = rest;
+            for &(m, client, gap) in now {
+                at = at.saturating_add(SimDuration::from_micros(gap));
+                d.submit(paella_core::InferenceRequest {
+                    client: ClientId(client),
+                    model: models[m % models.len()],
+                    submitted_at: at,
+                });
+            }
+            // Advance event-by-event, checking the invariant at every step —
+            // this interleaves ingests, kernel completions, refinements, and
+            // retires in whatever order the sim produces.
+            for _ in 0..steps {
+                let Some(t) = d.next_event_time() else { break };
+                d.advance_until(t);
+                let (inc, scratch, ok) = check(&d);
+                prop_assert!(ok, "mid-run divergence: inc={inc} scratch={scratch}");
+            }
+        }
+        d.run_to_idle();
+        let (inc, scratch, ok) = check(&d);
+        prop_assert!(ok, "post-run divergence: inc={inc} scratch={scratch}");
+        // Fully idle ⇒ the aggregate snaps to exactly zero (no drift).
+        prop_assert_eq!(d.inflight(), 0);
+        prop_assert_eq!(d.inflight_work_incremental_us(), 0.0);
+    }
+
     /// SRPT picks the minimum-remaining ready job when fairness is off.
     #[test]
     fn srpt_picks_minimum(

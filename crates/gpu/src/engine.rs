@@ -94,7 +94,7 @@ pub struct TraceEntry {
     /// Kernel that the block group belongs to.
     pub uid: KernelUid,
     /// Kernel name.
-    pub name: String,
+    pub name: std::sync::Arc<str>,
     /// SM the group was placed on.
     pub sm: u32,
     /// Number of blocks in the group.
@@ -814,7 +814,7 @@ mod tests {
 
     fn kernel(name: &str, blocks: u32, threads: u32, dur_us: u64) -> KernelDesc {
         KernelDesc {
-            name: name.to_string(),
+            name: name.to_string().into(),
             grid_blocks: blocks,
             footprint: BlockFootprint {
                 threads,

@@ -112,8 +112,10 @@ impl InstrumentationSpec {
 #[derive(Clone, Debug)]
 pub struct KernelDesc {
     /// Human-readable name (e.g. `"conv2d_3x3_64"`); used by the profiler to
-    /// key per-kernel statistics.
-    pub name: String,
+    /// key per-kernel statistics. Interned as `Arc<str>`: the engine labels
+    /// every per-wave trace span with it, so a plain `String` would be
+    /// cloned once per wave on the hot path.
+    pub name: std::sync::Arc<str>,
     /// Number of thread blocks in the grid (`Dg`).
     pub grid_blocks: u32,
     /// Per-block resource footprint.
@@ -129,7 +131,7 @@ impl KernelDesc {
     /// threads doing nothing but (optionally) notifying.
     pub fn empty(name: &str, blocks: u32) -> Self {
         KernelDesc {
-            name: name.to_string(),
+            name: name.into(),
             grid_blocks: blocks,
             footprint: BlockFootprint {
                 threads: 32,

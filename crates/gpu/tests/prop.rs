@@ -21,7 +21,7 @@ fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
         any::<bool>(),    // instrumented
     )
         .prop_map(|(blocks, threads, regs, shmem, dur, instr)| KernelDesc {
-            name: "prop".to_string(),
+            name: "prop".to_string().into(),
             grid_blocks: blocks,
             footprint: BlockFootprint {
                 threads,

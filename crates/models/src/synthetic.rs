@@ -8,7 +8,7 @@ use paella_sim::SimDuration;
 /// threads, 9 registers, no shared memory, ~300 µs per kernel.
 pub fn fig2_job() -> CompiledModel {
     let kernel = KernelDesc {
-        name: "fig2_synthetic".to_string(),
+        name: "fig2_synthetic".to_string().into(),
         grid_blocks: 1,
         footprint: BlockFootprint {
             threads: 128,
@@ -19,7 +19,7 @@ pub fn fig2_job() -> CompiledModel {
         instrumentation: None,
     };
     CompiledModel {
-        name: "fig2-synthetic".to_string(),
+        name: "fig2-synthetic".to_string().into(),
         ops: std::iter::once(DeviceOp::InputCopy { bytes: 256 })
             .chain((0..8).map(|_| DeviceOp::Kernel(kernel.clone())))
             .chain(std::iter::once(DeviceOp::OutputCopy { bytes: 256 }))
@@ -36,7 +36,7 @@ pub fn fig2_job() -> CompiledModel {
 /// notify. Duration is the bare launch-to-retire floor of a null kernel.
 pub fn empty_kernel(blocks: u32, instrumentation: Option<InstrumentationSpec>) -> KernelDesc {
     KernelDesc {
-        name: format!("empty_{blocks}b"),
+        name: format!("empty_{blocks}b").into(),
         grid_blocks: blocks,
         footprint: BlockFootprint {
             threads: 32,
@@ -52,7 +52,7 @@ pub fn empty_kernel(blocks: u32, instrumentation: Option<InstrumentationSpec>) -
 /// host-overhead experiment ("a small synthetic model").
 pub fn tiny_model(exec: SimDuration) -> CompiledModel {
     let kernel = KernelDesc {
-        name: "tiny".to_string(),
+        name: "tiny".to_string().into(),
         grid_blocks: 4,
         footprint: BlockFootprint {
             threads: 64,
@@ -63,7 +63,7 @@ pub fn tiny_model(exec: SimDuration) -> CompiledModel {
         instrumentation: None,
     };
     CompiledModel {
-        name: "tiny-synthetic".to_string(),
+        name: "tiny-synthetic".to_string().into(),
         ops: vec![
             DeviceOp::InputCopy { bytes: 64 },
             DeviceOp::Kernel(kernel),
@@ -83,7 +83,7 @@ pub fn tiny_model(exec: SimDuration) -> CompiledModel {
 /// paper says the hybrid client's CPU utilization depends on (Fig. 14).
 pub fn tiny_model_pinned(main: SimDuration, last: SimDuration) -> CompiledModel {
     let kernel = |name: &str, exec: SimDuration| KernelDesc {
-        name: name.to_string(),
+        name: name.to_string().into(),
         grid_blocks: 4,
         footprint: BlockFootprint {
             threads: 64,
@@ -94,7 +94,7 @@ pub fn tiny_model_pinned(main: SimDuration, last: SimDuration) -> CompiledModel 
         instrumentation: None,
     };
     CompiledModel {
-        name: "tiny-pinned".to_string(),
+        name: "tiny-pinned".to_string().into(),
         ops: vec![
             DeviceOp::InputCopy { bytes: 64 },
             DeviceOp::Kernel(kernel("main", main)),
@@ -118,7 +118,7 @@ pub fn uniform_job(
     blocks: u32,
 ) -> CompiledModel {
     let kernel = KernelDesc {
-        name: format!("{name}_op"),
+        name: format!("{name}_op").into(),
         grid_blocks: blocks,
         footprint: BlockFootprint {
             threads: 128,
@@ -129,7 +129,7 @@ pub fn uniform_job(
         instrumentation: None,
     };
     CompiledModel {
-        name: name.to_string(),
+        name: name.to_string().into(),
         ops: std::iter::once(DeviceOp::InputCopy { bytes: 1024 })
             .chain((0..kernels).map(|_| DeviceOp::Kernel(kernel.clone())))
             .chain(std::iter::once(DeviceOp::OutputCopy { bytes: 1024 }))

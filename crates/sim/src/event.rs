@@ -64,8 +64,24 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     next_id: u64,
+    /// Ids of heap entries cancelled but not yet physically removed.
+    /// Entries are dropped lazily on pop-through, or eagerly by
+    /// [`compact`](Self::compact) once the tombstones outnumber a fraction
+    /// of the heap — without compaction a schedule/cancel-heavy workload
+    /// (timeouts that almost never fire) grows both sets without bound.
     cancelled: std::collections::HashSet<EventId>,
+    /// Ids currently in the heap and not cancelled; makes `cancel` O(1)
+    /// instead of an O(heap) membership scan.
+    pending: std::collections::HashSet<EventId>,
+    /// Total cancellations accepted (diagnostics).
+    cancelled_total: u64,
+    /// Total eager compaction passes run (diagnostics).
+    compactions: u64,
 }
+
+/// Tombstones are tolerated until they exceed this count *and* a quarter of
+/// the live heap; below the floor the rebuild costs more than it saves.
+const COMPACT_FLOOR: usize = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -82,6 +98,9 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             next_id: 0,
             cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
+            cancelled_total: 0,
+            compactions: 0,
         }
     }
 
@@ -92,7 +111,7 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// Whether no events are pending.
@@ -121,6 +140,7 @@ impl<E> EventQueue<E> {
             id,
             payload,
         });
+        self.pending.insert(id);
         id
     }
 
@@ -130,18 +150,49 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, payload)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending. Cancelled events are dropped lazily on pop.
+    /// Cancels a previously scheduled event in O(1). Returns `true` if the
+    /// event was still pending. Cancelled events are dropped lazily on pop,
+    /// or eagerly once tombstones exceed the compaction threshold.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        // `pending` tracks exactly the live heap entries, so membership
+        // replaces the old O(heap) scan and double-cancels stay `false`.
+        if !self.pending.remove(&id) {
             return false;
         }
-        // Only mark if it could still be in the heap; popping clears marks.
-        if self.heap.iter().any(|e| e.id == id) {
-            self.cancelled.insert(id)
-        } else {
-            false
+        self.cancelled.insert(id);
+        self.cancelled_total += 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Number of cancelled tombstones still occupying heap slots.
+    pub fn cancelled_len(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Total cancellations accepted over the queue's lifetime.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Total eager compaction passes run over the queue's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Physically removes tombstoned entries once they exceed both
+    /// [`COMPACT_FLOOR`] and a quarter of the heap. A cancelled event that
+    /// would never pop through (scheduled far in the virtual future, as
+    /// timeout guards are) can otherwise pin its slot — and its tombstone —
+    /// forever.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() <= COMPACT_FLOOR || self.cancelled.len() * 4 <= self.heap.len() {
+            return;
         }
+        let cancelled = &self.cancelled;
+        self.heap.retain(|e| !cancelled.contains(&e.id));
+        self.cancelled.clear();
+        self.compactions += 1;
     }
 
     /// Timestamp of the next event to fire, if any.
@@ -154,6 +205,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let e = self.heap.pop()?;
+        self.pending.remove(&e.id);
         debug_assert!(e.at >= self.now);
         self.now = e.at;
         Some((e.at, e.payload))
@@ -250,5 +302,62 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_cancel_cycles_keep_memory_bounded() {
+        // The leak shape: one guard event far in the future that never pops,
+        // plus an endless stream of timeouts that are scheduled and then
+        // cancelled before firing. Without compaction every tombstone stays
+        // in the heap forever.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1_000_000), 0u64);
+        for i in 0..100_000u64 {
+            let id = q.schedule_at(SimTime::from_millis(500_000 + i), i);
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.len(), 1, "only the guard event is live");
+        assert!(
+            q.heap.len() <= 2 * COMPACT_FLOOR + 1,
+            "heap holds {} entries; tombstones were not compacted",
+            q.heap.len()
+        );
+        assert!(
+            q.cancelled_len() <= 2 * COMPACT_FLOOR,
+            "tombstone set holds {} ids",
+            q.cancelled_len()
+        );
+        assert_eq!(q.cancelled_total(), 100_000);
+        assert!(q.compactions() > 0, "compaction must have run");
+        // The guard is still deliverable after all that churn.
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1_000_000), 0)));
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_survivors() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        // Interleave survivors with a tombstone flood big enough to force
+        // several compactions, then check delivery order and content.
+        for i in 0..500u64 {
+            q.schedule_at(SimTime::from_nanos(10 + 7 * i), i);
+            keep.push(i);
+            for j in 0..4u64 {
+                let id = q.schedule_at(SimTime::from_nanos(5_000_000 + i * 4 + j), u64::MAX);
+                q.cancel(id);
+            }
+        }
+        assert!(q.compactions() > 0);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, keep, "survivors deliver in schedule order");
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_nanos(1), "x");
+        assert_eq!(q.pop().unwrap().1, "x");
+        assert!(!q.cancel(id), "popped events cannot be cancelled");
+        assert_eq!(q.cancelled_len(), 0);
     }
 }

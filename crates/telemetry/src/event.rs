@@ -97,8 +97,8 @@ pub enum TraceEvent {
         job: u64,
         /// Submitting client.
         client: u32,
-        /// Registered model name.
-        model: String,
+        /// Registered model name (interned; shared with the model artifact).
+        model: std::sync::Arc<str>,
         /// Client-side submission instant.
         submitted_at: SimTime,
     },
@@ -193,8 +193,8 @@ pub enum TraceEvent {
         sm: u32,
         /// Blocks in the group.
         blocks: u32,
-        /// Kernel name, for slice labels.
-        name: String,
+        /// Kernel name, for slice labels (interned; shared with the kernel).
+        name: std::sync::Arc<str>,
     },
     /// The matching end of an [`TraceEvent::SmSpanBegin`] group.
     SmSpanEnd {

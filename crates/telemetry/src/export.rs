@@ -37,8 +37,8 @@ pub struct SmSpan {
     pub sm: u32,
     /// Blocks in the group.
     pub blocks: u32,
-    /// Kernel name.
-    pub name: String,
+    /// Kernel name (interned).
+    pub name: std::sync::Arc<str>,
     /// Placement time.
     pub start: SimTime,
     /// Completion time.
@@ -54,7 +54,7 @@ pub struct SmSpan {
 /// Panics if an end event has no matching begin (a malformed log).
 pub fn sm_spans(log: &TraceLog) -> Vec<SmSpan> {
     // (kernel, wave, sm) -> (blocks, name, start, seq) of the open span.
-    type OpenSpans = BTreeMap<(u64, u32, u32), (u32, String, SimTime, u64)>;
+    type OpenSpans = BTreeMap<(u64, u32, u32), (u32, std::sync::Arc<str>, SimTime, u64)>;
     let mut open: OpenSpans = BTreeMap::new();
     let mut spans = Vec::new();
     for e in &log.events {
