@@ -64,3 +64,8 @@ fn fig14_stdout_is_thread_count_invariant() {
 fn fig_cluster_smoke_stdout_is_thread_count_invariant() {
     assert_deterministic(env!("CARGO_BIN_EXE_fig_cluster"), &["--smoke"]);
 }
+
+#[test]
+fn fig_faults_smoke_stdout_is_thread_count_invariant() {
+    assert_deterministic(env!("CARGO_BIN_EXE_fig_faults"), &["--smoke"]);
+}

@@ -326,6 +326,12 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
         "crates/gpu/src/",
         "crates/cluster/src/",
         "crates/bench/src/",
+        // The fault-injection and robustness layers (DESIGN §11) live on
+        // the same virtual clock: the workload harness replays fault plans
+        // and the telemetry layer timestamps fault events, so neither may
+        // read the host clock.
+        "crates/workload/src/",
+        "crates/telemetry/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))

@@ -270,3 +270,146 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cancellation invariant (DESIGN §11): completing a random prefix of a
+    /// random stream DAG and then draining the rest leaves no orphaned
+    /// dependency state, conserves `len()` exactly — every pushed op is
+    /// either completed or drained, never both, never neither — and leaves
+    /// the waitlist ready for fresh work on every stream kind.
+    #[test]
+    fn cancelling_a_random_prefix_leaves_no_orphans(
+        ops in proptest::collection::vec((0u32..5, any::<bool>(), any::<u64>()), 1..40),
+        drive in any::<u64>(),
+    ) {
+        let mut w = Waitlist::new();
+        let mut stream_of = Vec::new();
+        for (i, &(stream, has_dep, dep_pick)) in ops.iter().enumerate() {
+            w.declare_stream(VStream(stream), kind_of(stream));
+            let deps: Vec<u64> = if has_dep && i > 0 {
+                vec![dep_pick % i as u64]
+            } else {
+                Vec::new()
+            };
+            w.push_with_deps(VStream(stream), i as u64, &deps)
+                .expect("backward deps cannot cycle");
+            stream_of.push(stream);
+        }
+        prop_assert_eq!(w.len(), ops.len());
+        // Complete a pseudo-random prefix of the DAG in dependency order —
+        // the "mid-flight" part of the cancellation.
+        let mut seed = drive;
+        let target = (nx(&mut seed) as usize) % (ops.len() + 1);
+        let mut completed = std::collections::HashSet::new();
+        while completed.len() < target {
+            let active = w.active();
+            prop_assert!(!active.is_empty(), "livelock before cancellation");
+            let t = active[(nx(&mut seed) as usize) % active.len()];
+            w.complete(VStream(stream_of[t as usize]), t);
+            completed.insert(t);
+        }
+        // Cancel: everything still tracked drains in one deterministic pass.
+        let drained = w.drain();
+        prop_assert_eq!(
+            completed.len() + drained.len(),
+            ops.len(),
+            "len conserved: completed + drained must cover every push"
+        );
+        let drained_tokens: std::collections::HashSet<u64> =
+            drained.iter().map(|&(_, t)| t).collect();
+        prop_assert_eq!(drained_tokens.len(), drained.len(), "no token drained twice");
+        for t in 0..ops.len() as u64 {
+            prop_assert!(
+                completed.contains(&t) != drained_tokens.contains(&t),
+                "op {t} must be exactly one of completed/drained"
+            );
+        }
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(w.active(), Vec::<u64>::new());
+        // No orphaned ordering state: a fresh op on each stream kind must
+        // activate immediately, as on a brand-new waitlist. A leaked
+        // default/blocking unreleased set would hold these back.
+        for (stream, token) in [(0u32, 10_000u64), (1, 10_001), (4, 10_002)] {
+            w.declare_stream(VStream(stream), kind_of(stream));
+            let active = w
+                .push(VStream(stream), token)
+                .expect("no deps, no cycle");
+            prop_assert!(active, "post-drain push on stream {stream} must be active");
+            w.complete(VStream(stream), token);
+        }
+        prop_assert!(w.is_empty());
+    }
+
+    /// Reclamation invariant (DESIGN §11): reclaiming a random subset of
+    /// kernels mid-flight — some blocks placed, some still pending, exactly
+    /// what job cancellation does via `on_kernel_completed` — keeps the
+    /// occupancy mirror and the conservation oracle's per-SM ground truth in
+    /// balance, and reclaiming the rest returns the device to zero.
+    #[test]
+    fn conservation_holds_after_midflight_reclamation(
+        kernels in proptest::collection::vec((1u32..=24, any::<bool>()), 1..8),
+        place_script in proptest::collection::vec(any::<u64>(), 4..40),
+        reclaim in any::<u64>(),
+    ) {
+        const NUM_SMS: u32 = 4;
+        let mut t = OccupancyTracker::new(NUM_SMS, SmLimits::TURING);
+        let mut o = ConservationOracle::new(NUM_SMS, SmLimits::TURING);
+        let mut placed_left: Vec<(BlockFootprint, u32)> = Vec::new();
+        for (uid, &(blocks, big)) in kernels.iter().enumerate() {
+            let fp = if big { big_fp() } else { small_fp() };
+            t.on_launch(uid as u32, fp, blocks);
+            o.on_launch(uid as u32, fp, blocks);
+            placed_left.push((fp, blocks));
+        }
+        // Place what fits, pseudo-randomly, so reclamation hits kernels in
+        // every phase: unplaced, partially placed, fully resident.
+        for &word in &place_script {
+            let mut seed = word;
+            let ki = (nx(&mut seed) as usize) % placed_left.len();
+            let (fp, remaining) = placed_left[ki];
+            if remaining == 0 {
+                continue;
+            }
+            let sm = (nx(&mut seed) % u64::from(NUM_SMS)) as u8;
+            let fit = o.sm_usage(sm).fit_count(&fp, &SmLimits::TURING);
+            let g = remaining.min(fit).min(1 + (nx(&mut seed) % 4) as u32);
+            if g > 0 {
+                t.on_notification(Notification::placement(sm, ki as u32, g as u16));
+                o.on_placement(sm, ki as u32, g as u16);
+                placed_left[ki].1 -= g;
+            }
+        }
+        prop_assert!(o.verify(&t).is_ok(), "{:?}", o.verify(&t));
+        // Mid-flight reclamation of a random subset (the cancellation path).
+        let mut seed = reclaim;
+        let mut gone = Vec::new();
+        for uid in 0..kernels.len() as u32 {
+            if nx(&mut seed).is_multiple_of(2) {
+                t.on_kernel_completed(uid);
+                o.on_kernel_completed(uid);
+                gone.push(uid);
+                let check = o.verify(&t);
+                prop_assert!(check.is_ok(), "after reclaiming {uid}: {}", check.unwrap_err());
+            }
+        }
+        // Reclaiming is idempotent: a late duplicate changes nothing.
+        for &uid in &gone {
+            t.on_kernel_completed(uid);
+            o.on_kernel_completed(uid);
+        }
+        prop_assert!(o.verify(&t).is_ok());
+        // Reclaim the survivors: the device must return to exactly zero.
+        for uid in 0..kernels.len() as u32 {
+            t.on_kernel_completed(uid);
+            o.on_kernel_completed(uid);
+        }
+        prop_assert!(o.verify(&t).is_ok());
+        prop_assert_eq!(t.unplaced_blocks(), 0);
+        prop_assert_eq!(t.resident_blocks(), 0);
+        prop_assert_eq!(t.tracked_kernels(), 0);
+        prop_assert_eq!(o.resident(), 0);
+        prop_assert_eq!(o.unplaced(), 0);
+    }
+}

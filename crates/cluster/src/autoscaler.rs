@@ -104,7 +104,14 @@ impl Autoscaler {
         } else if per_node < self.cfg.low_watermark {
             self.over_since = None;
             let since = *self.under_since.get_or_insert(now);
-            if now.saturating_since(since) >= self.cfg.sustain && online > self.cfg.min_nodes {
+            // Down is gated on `active`, the same count Up is gated on: while
+            // a cold-start activation is in flight (active > online) draining
+            // a node would churn the very capacity we just paid to bring up,
+            // so hold until the warm-up lands.
+            if now.saturating_since(since) >= self.cfg.sustain
+                && active > self.cfg.min_nodes
+                && active == online
+            {
                 self.under_since = None;
                 return ScaleDecision::Down;
             }
@@ -194,6 +201,30 @@ mod tests {
                 "at min_nodes the cluster must hold"
             );
         }
+    }
+
+    #[test]
+    fn holds_while_an_activation_is_in_flight() {
+        // Sustained low backlog, but one node is still cold-starting
+        // (active = 3 > online = 2): draining now would churn the capacity
+        // the cluster just paid to bring up, so the autoscaler must hold
+        // until the warm-up lands.
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(
+            a.observe(SimTime::from_millis(0), 0, 2, 3),
+            ScaleDecision::Hold
+        );
+        assert_eq!(
+            a.observe(SimTime::from_millis(3), 0, 2, 3),
+            ScaleDecision::Hold,
+            "sustain elapsed but activation in flight — no Down"
+        );
+        // Activation lands (active == online): the sustained streak may now
+        // drain.
+        assert_eq!(
+            a.observe(SimTime::from_millis(4), 0, 3, 3),
+            ScaleDecision::Down
+        );
     }
 
     #[test]

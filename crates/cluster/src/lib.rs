@@ -29,15 +29,19 @@ pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleDecision};
 pub use placement::{PlacementConfig, PlacementManager};
 pub use router::{ClusterRouter, NodeLoad, RoutingPolicy};
 
+use std::collections::HashMap;
+
 use paella_channels::ChannelConfig;
 use paella_compiler::CompiledModel;
 use paella_core::dispatcher::{Dispatcher, DispatcherConfig};
 use paella_core::remote::RpcNetModel;
 use paella_core::sched::SrptDeficitScheduler;
 use paella_core::serve::ServingSystem;
-use paella_core::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
+use paella_core::types::{
+    ClientId, FailureReason, InferenceRequest, JobCompletion, JobFailure, LoadSignal, ModelId,
+};
 use paella_gpu::DeviceConfig;
-use paella_sim::{EventQueue, SimDuration, SimTime, Xoshiro256pp};
+use paella_sim::{EventQueue, FaultKind, FaultPlan, SimDuration, SimTime, Xoshiro256pp};
 use paella_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceLog, Tracer};
 
 /// Cluster-wide knobs.
@@ -51,19 +55,28 @@ pub struct ClusterConfig {
     pub placement: PlacementConfig,
     /// Autoscaling; `None` pins the fleet at its initial size.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Configuration for every node's dispatcher (deadlines, shedding, and
+    /// retry knobs included — DESIGN §11).
+    pub dispatcher: DispatcherConfig,
+    /// How many times the frontend re-routes a request lost to a node crash
+    /// before reporting it failed (per-request budget).
+    pub crash_retries: u32,
     /// Seed for node dispatchers and the router's RNG.
     pub seed: u64,
 }
 
 impl ClusterConfig {
     /// Defaults with the given policy: eRPC-style network, 2× replication
-    /// under a 16 GB budget, no autoscaling.
+    /// under a 16 GB budget, no autoscaling, the Paella dispatcher on every
+    /// node, and up to 3 crash re-routes per request.
     pub fn with_policy(policy: RoutingPolicy) -> Self {
         ClusterConfig {
             net: RpcNetModel::default(),
             policy,
             placement: PlacementConfig::default(),
             autoscale: None,
+            dispatcher: DispatcherConfig::paella(),
+            crash_retries: 3,
             seed: 0,
         }
     }
@@ -89,6 +102,10 @@ pub enum NodeState {
 struct Node {
     dispatcher: Dispatcher,
     state: NodeState,
+    /// Crashed by fault injection: `Offline` but *not* reactivatable until a
+    /// recovery event lands (a crash drops the node's device memory, so even
+    /// the autoscaler must treat it as gone, not warm).
+    crashed: bool,
     /// Public model id → node-local id (`None` if not replicated here).
     local_ids: Vec<Option<ModelId>>,
     /// Requests crossing the router→node link, with the work estimate the
@@ -121,10 +138,17 @@ struct ClusterModel {
 enum FrontEv {
     /// A request reached the router.
     Arrive(InferenceRequest),
+    /// A request lost to a node crash re-enters routing. Unlike `Arrive`,
+    /// `submitted_at` is the request's *original* submission time, preserved
+    /// across re-routes so deadlines and reported latency stay anchored to
+    /// when the client actually called predict.
+    Reroute(InferenceRequest),
     /// A cold-starting node finished warming.
     NodeReady(usize),
     /// Periodic autoscaler evaluation.
     ScaleTick,
+    /// An injected fault fires (node crash/recovery, client disconnect).
+    Fault(FaultKind),
 }
 
 /// Per-node outstanding-depth series names (the metrics registry requires
@@ -164,6 +188,11 @@ pub struct Cluster {
     /// Whether a ScaleTick is already scheduled (one in flight at a time).
     tick_scheduled: bool,
     completions: Vec<JobCompletion>,
+    /// Terminal failures (public ids, original submission times).
+    failures: Vec<JobFailure>,
+    /// Crash re-routes consumed per request, keyed by
+    /// `(client, public model, original submitted_at ns)`.
+    reroutes: HashMap<(u32, u32, u64), u32>,
     tracer: Tracer,
     metrics: Option<Box<MetricsRegistry>>,
     scale_ups: u64,
@@ -178,8 +207,9 @@ impl Cluster {
         let channels = ChannelConfig::default();
         let node_vec = (0..nodes)
             .map(|i| Node {
-                dispatcher: make_dispatcher(&device, channels, cfg.seed, i as u64),
+                dispatcher: make_dispatcher(&device, channels, &cfg, i as u64),
                 state: NodeState::Online,
+                crashed: false,
                 local_ids: Vec::new(),
                 ingress: EventQueue::new(),
                 in_network: 0,
@@ -201,6 +231,8 @@ impl Cluster {
             frontend: EventQueue::new(),
             tick_scheduled: false,
             completions: Vec::new(),
+            failures: Vec::new(),
+            reroutes: HashMap::new(),
             tracer: Tracer::disabled(),
             metrics: None,
             scale_ups: 0,
@@ -265,12 +297,12 @@ impl Cluster {
 
     // -- event handlers -----------------------------------------------------
 
-    fn on_arrive(&mut self, at: SimTime, req: InferenceRequest) {
-        let public = req.model.0 as usize;
-        assert!(public < self.models.len(), "unknown model {:?}", req.model);
-        // Replica set, online members first; a model whose whole replica set
-        // is warming or draining falls back to it anyway (the request waits
-        // in the node's ingress/queue rather than being dropped).
+    /// The routable replica subset of a model: online members first, then
+    /// warming/draining members (the request waits in the node's
+    /// ingress/queue rather than being dropped), then warm-offline members.
+    /// Crashed nodes never qualify — routing to one would lose the request
+    /// again. Empty means every replica is currently crashed.
+    fn route_candidates(&self, public: usize) -> Vec<usize> {
         let all = &self.models[public].replicas;
         let mut candidates: Vec<usize> = all
             .iter()
@@ -285,7 +317,26 @@ impl Cluster {
                 .collect();
         }
         if candidates.is_empty() {
-            candidates.clone_from(all);
+            candidates = all
+                .iter()
+                .copied()
+                .filter(|&i| !self.nodes[i].crashed)
+                .collect();
+        }
+        candidates
+    }
+
+    /// Routes a request (public ids) to one node and puts it on the wire.
+    /// `anchor` carries a re-routed request's original submission time; a
+    /// fresh arrival anchors at its ingress landing instead. If every
+    /// replica has crashed the request fails terminally.
+    fn dispatch_to_node(&mut self, at: SimTime, req: InferenceRequest, anchor: Option<SimTime>) {
+        let public = req.model.0 as usize;
+        assert!(public < self.models.len(), "unknown model {:?}", req.model);
+        let candidates = self.route_candidates(public);
+        if candidates.is_empty() {
+            self.fail_terminal(req, at, FailureReason::NodeCrash);
+            return;
         }
         let loads: Vec<NodeLoad> = candidates.iter().map(|&i| self.nodes[i].load()).collect();
         let pos = self.router.pick(&candidates, &loads);
@@ -320,16 +371,171 @@ impl Cluster {
         node.in_network += 1;
         node.in_network_work += est;
         let arrive = (at + hop).max(node.ingress.now());
+        // The node-facing submission time embeds the two ingress crossings
+        // `collect_completions`/`collect_failures` subtract back out, so a
+        // re-routed request's reconstructed origin stays its *original*
+        // submission no matter how many routing rounds it took.
+        let submitted = anchor.map_or(arrive, |orig| orig + hop * 2);
         node.ingress.schedule_at(
             arrive,
             (
                 InferenceRequest {
-                    submitted_at: arrive,
+                    submitted_at: submitted,
                     ..req
                 },
                 est,
             ),
         );
+    }
+
+    fn on_arrive(&mut self, at: SimTime, req: InferenceRequest) {
+        self.dispatch_to_node(at, req, None);
+    }
+
+    fn on_reroute(&mut self, at: SimTime, req: InferenceRequest) {
+        let orig = req.submitted_at;
+        self.dispatch_to_node(at, req, Some(orig));
+    }
+
+    /// Records a terminal failure (public ids, original submission time) and
+    /// retires any re-route budget the request consumed.
+    fn fail_terminal(&mut self, req: InferenceRequest, at: SimTime, reason: FailureReason) {
+        self.reroutes
+            .remove(&(req.client.0, req.model.0, req.submitted_at.as_nanos()));
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("requests_failed", 1);
+        }
+        self.failures.push(JobFailure {
+            request: req,
+            reason,
+            at,
+        });
+    }
+
+    /// A request lost to a node crash: re-enter routing if its per-request
+    /// budget allows, otherwise fail it terminally. `req` carries public ids
+    /// and the *original* submission time.
+    fn try_reroute(&mut self, at: SimTime, req: InferenceRequest) {
+        let key = (req.client.0, req.model.0, req.submitted_at.as_nanos());
+        let used = self.reroutes.get(&key).copied().unwrap_or(0);
+        if used >= self.cfg.crash_retries {
+            self.fail_terminal(req, at, FailureReason::NodeCrash);
+            return;
+        }
+        self.reroutes.insert(key, used + 1);
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("requests_rerouted", 1);
+        }
+        self.frontend
+            .schedule_at(at.max(self.frontend.now()), FrontEv::Reroute(req));
+    }
+
+    fn on_fault(&mut self, at: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeCrash(i) => self.on_node_crash(at, i as usize),
+            FaultKind::NodeRecover(i) => self.on_node_recover(at, i as usize),
+            FaultKind::ClientDisconnect(c) => self.on_client_disconnect(at, ClientId(c)),
+        }
+    }
+
+    /// A node crash: results already produced survive, everything else on
+    /// the node — queued ingress, queued jobs, in-flight kernels — is lost
+    /// and re-enters routing under the per-request crash budget. The node
+    /// goes `Offline` with `crashed` set, so neither the router nor the
+    /// autoscaler touches it until a recovery event lands.
+    fn on_node_crash(&mut self, at: SimTime, i: usize) {
+        if i >= self.nodes.len() || self.nodes[i].crashed {
+            return;
+        }
+        self.tracer
+            .record_with(at, || TraceEvent::NodeCrash { node: i as u32 });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("node_crashes", 1);
+        }
+        self.collect_completions(i);
+        self.nodes[i].crashed = true;
+        self.nodes[i].state = NodeState::Offline;
+        self.nodes[i]
+            .dispatcher
+            .cancel_all(at, FailureReason::NodeCrash);
+        self.collect_failures(i);
+        // Requests still crossing the wire to the crashed node are lost too.
+        let pending = self.nodes[i].ingress.drain();
+        let net = self.cfg.net;
+        let mut underflows = 0u64;
+        for (_, (req, _est)) in pending {
+            let n = &mut self.nodes[i];
+            match n.outstanding.checked_sub(1) {
+                Some(v) => n.outstanding = v,
+                None => underflows += 1,
+            }
+            let ingress = net.transfer(self.models[req.model.0 as usize].model.input_bytes) * 2;
+            let orig = SimTime::from_nanos(
+                req.submitted_at
+                    .as_nanos()
+                    .saturating_sub(ingress.as_nanos()),
+            );
+            self.try_reroute(
+                at,
+                InferenceRequest {
+                    submitted_at: orig,
+                    ..req
+                },
+            );
+        }
+        // Completions, failures, and the drained ingress must account for
+        // every request the router charged to this node.
+        let n = &mut self.nodes[i];
+        n.in_network = 0;
+        n.in_network_work = SimDuration::ZERO;
+        if n.outstanding != 0 {
+            underflows += 1;
+            n.outstanding = 0;
+        }
+        debug_assert_eq!(underflows, 0, "node {i} crash accounting out of balance");
+        if underflows > 0 {
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("accounting_underflow", underflows);
+            }
+        }
+    }
+
+    /// Recovery from a crash pays a *full* cold start — activation plus all
+    /// replicated weights back over PCIe — because the crash dropped the
+    /// node's device memory (unlike a drained node, which stays warm).
+    fn on_node_recover(&mut self, at: SimTime, i: usize) {
+        if i >= self.nodes.len() || !self.nodes[i].crashed {
+            return;
+        }
+        self.tracer
+            .record_with(at, || TraceEvent::NodeRecover { node: i as u32 });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("node_recoveries", 1);
+        }
+        self.nodes[i].crashed = false;
+        let weight: u64 = self
+            .models
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| self.nodes[i].local_ids.get(*p).is_some_and(|l| l.is_some()))
+            .map(|(_, m)| m.model.weight_bytes)
+            .sum();
+        let ready_at = at + self.cold_start_cost(weight);
+        self.nodes[i].state = NodeState::ColdStarting { ready_at };
+        self.frontend.schedule_at(ready_at, FrontEv::NodeReady(i));
+    }
+
+    /// A client disconnect: every node cancels the client's queued and
+    /// in-flight jobs now; anything of theirs still crossing the network is
+    /// refused at node ingress by the dispatcher's disconnect set.
+    fn on_client_disconnect(&mut self, at: SimTime, client: ClientId) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("client_disconnects", 1);
+        }
+        for i in 0..self.nodes.len() {
+            self.nodes[i].dispatcher.cancel_client(client, at);
+            self.collect_failures(i);
+        }
     }
 
     fn on_node_ready(&mut self, node: usize) {
@@ -372,11 +578,13 @@ impl Cluster {
             m.inc("scale_ups", 1);
         }
         // Prefer re-activating a warm offline node: weights are resident,
-        // only the activation delay applies.
+        // only the activation delay applies. Crashed nodes are *not* warm —
+        // the crash dropped their device memory — so they are skipped until
+        // a recovery event brings them back.
         if let Some(i) = self
             .nodes
             .iter()
-            .position(|n| n.state == NodeState::Offline)
+            .position(|n| n.state == NodeState::Offline && !n.crashed)
         {
             let ready_at = at + self.cold_start_cost(0);
             self.nodes[i].state = NodeState::ColdStarting { ready_at };
@@ -387,8 +595,9 @@ impl Cluster {
         // pay for its weights over PCIe.
         let i = self.placement.add_node();
         let mut node = Node {
-            dispatcher: make_dispatcher(&self.device, self.channels, self.cfg.seed, i as u64),
+            dispatcher: make_dispatcher(&self.device, self.channels, &self.cfg, i as u64),
             state: NodeState::Online, // overwritten below
+            crashed: false,
             local_ids: vec![None; self.models.len()],
             ingress: EventQueue::new(),
             in_network: 0,
@@ -467,28 +676,124 @@ impl Cluster {
             );
             c.client_visible_at += egress;
             c.breakdown.communication += ingress + egress;
+            // A completed request retires whatever re-route budget it used.
+            self.reroutes.remove(&(
+                c.request.client.0,
+                c.request.model.0,
+                c.request.submitted_at.as_nanos(),
+            ));
         }
+        // A double-drain would underflow here; `checked_sub` surfaces the
+        // accounting bug (debug assert + counter) instead of masking it the
+        // way `saturating_sub` silently did.
         let n = &mut self.nodes[i];
-        n.outstanding = n.outstanding.saturating_sub(drained.len() as u64);
+        let under = match n.outstanding.checked_sub(drained.len() as u64) {
+            Some(v) => {
+                n.outstanding = v;
+                false
+            }
+            None => {
+                n.outstanding = 0;
+                true
+            }
+        };
+        debug_assert!(!under, "node {i} completed more requests than routed");
         if n.state == NodeState::Draining && n.outstanding == 0 {
             n.state = NodeState::Offline;
         }
+        if under {
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("accounting_underflow", 1);
+            }
+        }
         self.completions.append(&mut drained);
+    }
+
+    /// Drains failures from node `i`, translating them back to public ids
+    /// and original submission times. Crash-reason failures re-enter routing
+    /// under the per-request budget; everything else is terminal.
+    fn collect_failures(&mut self, i: usize) {
+        let net = self.cfg.net;
+        let drained = self.nodes[i].dispatcher.drain_failures();
+        if drained.is_empty() {
+            return;
+        }
+        for mut f in drained {
+            let public = self.nodes[i]
+                .local_ids
+                .iter()
+                .position(|&l| l == Some(f.request.model))
+                .unwrap_or_else(|| {
+                    panic!("node {i} failed unknown local model {:?}", f.request.model)
+                });
+            let ingress = net.transfer(self.models[public].model.input_bytes) * 2;
+            f.request.model = ModelId(public as u32);
+            f.request.submitted_at = SimTime::from_nanos(
+                f.request
+                    .submitted_at
+                    .as_nanos()
+                    .saturating_sub(ingress.as_nanos()),
+            );
+            let n = &mut self.nodes[i];
+            let under = match n.outstanding.checked_sub(1) {
+                Some(v) => {
+                    n.outstanding = v;
+                    false
+                }
+                None => true,
+            };
+            debug_assert!(!under, "node {i} failed more requests than routed");
+            if n.state == NodeState::Draining && n.outstanding == 0 {
+                n.state = NodeState::Offline;
+            }
+            if under {
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("accounting_underflow", 1);
+                }
+            }
+            if f.reason == FailureReason::NodeCrash {
+                self.try_reroute(f.at, f.request);
+            } else {
+                self.fail_terminal(f.request, f.at, f.reason);
+            }
+        }
+    }
+
+    /// Whether node `i` is currently crashed (offline and not warm).
+    pub fn node_crashed(&self, i: usize) -> bool {
+        self.nodes[i].crashed
+    }
+
+    /// Arms a deterministic fault plan: the kernel-fault rate reaches every
+    /// node's dispatcher (current and future — future nodes inherit it via
+    /// the stored config) and each timed event is scheduled on the frontend
+    /// clock, where it interleaves deterministically with workload events.
+    pub fn inject(&mut self, plan: &FaultPlan) {
+        self.cfg.dispatcher.kernel_fault_rate = plan.kernel_fault_rate;
+        for n in &mut self.nodes {
+            n.dispatcher.set_kernel_fault_rate(plan.kernel_fault_rate);
+        }
+        for e in &plan.events {
+            self.frontend
+                .schedule_at(e.at.max(self.frontend.now()), FrontEv::Fault(e.kind));
+        }
     }
 }
 
 fn make_dispatcher(
     device: &DeviceConfig,
     channels: ChannelConfig,
-    seed: u64,
+    cfg: &ClusterConfig,
     node: u64,
 ) -> Dispatcher {
     Dispatcher::new(
         device.clone(),
         channels,
         Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
-        DispatcherConfig::paella(),
-        seed.wrapping_add(node).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        cfg.dispatcher,
+        cfg.seed
+            .wrapping_add(node)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
     )
 }
 
@@ -571,15 +876,28 @@ impl ServingSystem for Cluster {
                 let (at, ev) = self.frontend.pop().expect("peeked");
                 match ev {
                     FrontEv::Arrive(req) => self.on_arrive(at, req),
+                    FrontEv::Reroute(req) => self.on_reroute(at, req),
                     FrontEv::NodeReady(i) => self.on_node_ready(i),
                     FrontEv::ScaleTick => self.on_scale_tick(at),
+                    FrontEv::Fault(kind) => self.on_fault(at, kind),
                 }
             } else if let Some((a, i)) = ti.filter(|&(a, _)| a == next) {
                 let n = &mut self.nodes[i];
                 // invariant: peek_time returned Some(a), so pop succeeds.
                 let (_, (req, est)) = n.ingress.pop().expect("peeked");
-                n.in_network = n.in_network.saturating_sub(1);
-                n.in_network_work = n.in_network_work.saturating_sub(est);
+                // Checked, not saturating: a drain below the router's
+                // in-network charge is an accounting bug worth surfacing.
+                let mut under = false;
+                match n.in_network.checked_sub(1) {
+                    Some(v) => n.in_network = v,
+                    None => under = true,
+                }
+                if n.in_network_work >= est {
+                    n.in_network_work = n.in_network_work.saturating_sub(est);
+                } else {
+                    n.in_network_work = SimDuration::ZERO;
+                    under = true;
+                }
                 let local = n.local_ids[req.model.0 as usize].unwrap_or_else(|| {
                     panic!("request routed to node {i} without model {:?}", req.model)
                 });
@@ -587,16 +905,31 @@ impl ServingSystem for Cluster {
                     model: local,
                     ..req
                 });
+                debug_assert!(!under, "node {i} ingress drained below its charge");
+                if under {
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("accounting_underflow", 1);
+                    }
+                }
+                // Ingress-time refusals (shed, disconnected client) surface
+                // here, not on the device clock — collect them promptly so a
+                // node with no device work cannot strand `outstanding`.
+                self.collect_failures(i);
                 let _ = a;
             } else if let Some((a, i)) = tn {
                 self.nodes[i].dispatcher.advance_until(a);
                 self.collect_completions(i);
+                self.collect_failures(i);
             }
         }
     }
 
     fn drain_completions(&mut self) -> Vec<JobCompletion> {
         std::mem::take(&mut self.completions)
+    }
+
+    fn drain_failures(&mut self) -> Vec<JobFailure> {
+        std::mem::take(&mut self.failures)
     }
 
     fn name(&self) -> String {
@@ -729,7 +1062,15 @@ mod tests {
         // One idle node, one request: the cluster JCT must exceed a bare
         // dispatcher's by roughly three crossings (two in, one out).
         let m = synthetic::uniform_job("net", 4, SimDuration::from_micros(150), 64);
-        let mut solo = make_dispatcher(&DeviceConfig::tesla_t4(), ChannelConfig::default(), 11, 0);
+        let mut solo = make_dispatcher(
+            &DeviceConfig::tesla_t4(),
+            ChannelConfig::default(),
+            &ClusterConfig {
+                seed: 11,
+                ..ClusterConfig::with_policy(RoutingPolicy::RoundRobin)
+            },
+            0,
+        );
         let sid = solo.register_model(&m);
         solo.submit(InferenceRequest {
             client: ClientId(0),
@@ -814,6 +1155,196 @@ mod tests {
         assert!(downs >= 1, "idle fleet must drain back");
         assert!(c.nodes_total() > 1, "a node was added");
         assert_eq!(c.nodes_online(), 1, "drained back to min_nodes");
+    }
+
+    #[test]
+    fn node_crash_reroutes_to_surviving_replica() {
+        use paella_sim::FaultEvent;
+        let mut c = cluster(2, RoutingPolicy::Jsq);
+        let m = synthetic::uniform_job("fx", 4, SimDuration::from_micros(150), 64);
+        let id = c.register_model(&m);
+        assert_eq!(c.replicas(id).len(), 2);
+        c.enable_telemetry();
+        submit_n(&mut c, id, 30, 50);
+        c.inject(&FaultPlan {
+            kernel_fault_rate: 0.0,
+            events: vec![FaultEvent {
+                at: SimTime::from_micros(400),
+                kind: FaultKind::NodeCrash(0),
+            }],
+        });
+        c.run_to_idle();
+        let done = c.drain_completions();
+        let failed = c.drain_failures();
+        assert_eq!(done.len() + failed.len(), 30, "every request accounted");
+        assert!(
+            failed.is_empty(),
+            "a surviving replica absorbs everything: {failed:?}"
+        );
+        assert!(c.node_crashed(0));
+        assert_eq!(c.node_state(0), NodeState::Offline);
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("node_crashes"), 1);
+        assert!(
+            snap.counter("requests_rerouted") > 0,
+            "the crash must have stranded work mid-run"
+        );
+        assert_eq!(snap.counter("accounting_underflow"), 0);
+    }
+
+    #[test]
+    fn crash_of_sole_replica_fails_requests_terminally() {
+        use paella_sim::FaultEvent;
+        let mut c = cluster(1, RoutingPolicy::RoundRobin);
+        let m = synthetic::uniform_job("solo", 4, SimDuration::from_micros(150), 64);
+        let id = c.register_model(&m);
+        c.enable_telemetry();
+        submit_n(&mut c, id, 20, 50);
+        c.inject(&FaultPlan {
+            kernel_fault_rate: 0.0,
+            events: vec![FaultEvent {
+                at: SimTime::from_micros(300),
+                kind: FaultKind::NodeCrash(0),
+            }],
+        });
+        c.run_to_idle();
+        let done = c.drain_completions();
+        let failed = c.drain_failures();
+        assert_eq!(done.len() + failed.len(), 20, "every request accounted");
+        assert!(!failed.is_empty(), "no replica left to absorb the crash");
+        for f in &failed {
+            assert_eq!(f.reason, FailureReason::NodeCrash);
+            assert_eq!(f.request.model, id, "public id restored on failures");
+        }
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("requests_failed"), failed.len() as u64);
+        assert_eq!(snap.counter("accounting_underflow"), 0);
+    }
+
+    #[test]
+    fn crashed_node_recovers_through_a_full_cold_start() {
+        use paella_sim::FaultEvent;
+        let mut c = cluster(2, RoutingPolicy::Jsq);
+        let m = synthetic::uniform_job("rec", 4, SimDuration::from_micros(150), 64);
+        let id = c.register_model(&m);
+        c.enable_telemetry();
+        submit_n(&mut c, id, 24, 100);
+        c.inject(&FaultPlan {
+            kernel_fault_rate: 0.0,
+            events: vec![
+                FaultEvent {
+                    at: SimTime::from_micros(300),
+                    kind: FaultKind::NodeCrash(1),
+                },
+                FaultEvent {
+                    at: SimTime::from_micros(700),
+                    kind: FaultKind::NodeRecover(1),
+                },
+            ],
+        });
+        c.run_to_idle();
+        let done = c.drain_completions();
+        let failed = c.drain_failures();
+        assert_eq!(done.len() + failed.len(), 24);
+        assert!(failed.is_empty(), "replica + recovery lose nothing");
+        assert!(!c.node_crashed(1), "recovery clears the crash flag");
+        assert_eq!(
+            c.node_state(1),
+            NodeState::Online,
+            "recovered node warms back to serving"
+        );
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("node_crashes"), 1);
+        assert_eq!(snap.counter("node_recoveries"), 1);
+        assert_eq!(snap.counter("accounting_underflow"), 0);
+    }
+
+    #[test]
+    fn client_disconnect_cancels_cluster_wide() {
+        use paella_sim::FaultEvent;
+        let mut c = cluster(2, RoutingPolicy::Jsq);
+        let m = synthetic::uniform_job("dc", 4, SimDuration::from_micros(150), 64);
+        let id = c.register_model(&m);
+        c.enable_telemetry();
+        // submit_n spreads clients 0..4 round-robin over 32 requests.
+        submit_n(&mut c, id, 32, 100);
+        c.inject(&FaultPlan {
+            kernel_fault_rate: 0.0,
+            events: vec![FaultEvent {
+                at: SimTime::from_micros(500),
+                kind: FaultKind::ClientDisconnect(2),
+            }],
+        });
+        c.run_to_idle();
+        let done = c.drain_completions();
+        let failed = c.drain_failures();
+        assert_eq!(done.len() + failed.len(), 32, "every request accounted");
+        assert!(
+            !failed.is_empty(),
+            "mid-run disconnect must cancel something"
+        );
+        for f in &failed {
+            assert_eq!(f.reason, FailureReason::Disconnected);
+            assert_eq!(f.request.client, ClientId(2));
+        }
+        for d in &done {
+            assert!(
+                !(d.request.client == ClientId(2)
+                    && d.request.submitted_at >= SimTime::from_micros(500)),
+                "post-disconnect submissions from the client must be refused"
+            );
+        }
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("client_disconnects"), 1);
+        assert_eq!(snap.counter("accounting_underflow"), 0);
+    }
+
+    #[test]
+    fn fault_injection_replays_bit_for_bit() {
+        use paella_sim::FaultSpec;
+        let run = |fault_seed: u64| {
+            let mut c = Cluster::new(
+                DeviceConfig::tesla_t4(),
+                3,
+                ClusterConfig {
+                    seed: 21,
+                    ..ClusterConfig::with_policy(RoutingPolicy::LeastRemainingWork)
+                },
+            );
+            let m = synthetic::uniform_job("det", 5, SimDuration::from_micros(180), 64);
+            let id = c.register_model(&m);
+            submit_n(&mut c, id, 80, 30);
+            let plan = FaultSpec {
+                kernel_fault_rate: 0.05,
+                node_crashes: 1,
+                nodes: 3,
+                window_start: SimTime::from_micros(200),
+                window_end: SimTime::from_micros(1_500),
+                recovery_after: Some(SimDuration::from_micros(800)),
+                client_disconnects: 1,
+                clients: 4,
+            }
+            .generate(fault_seed);
+            c.inject(&plan);
+            c.run_to_idle();
+            let mut lines: Vec<String> = c
+                .drain_completions()
+                .iter()
+                .map(|d| format!("ok {}:{}", d.request.submitted_at, d.client_visible_at))
+                .chain(c.drain_failures().iter().map(|f| {
+                    format!(
+                        "fail {}:{}:{}",
+                        f.request.submitted_at,
+                        f.at,
+                        f.reason.as_str()
+                    )
+                }))
+                .collect();
+            lines.sort();
+            lines
+        };
+        assert_eq!(run(7), run(7), "same fault seed must replay exactly");
+        assert_ne!(run(7), run(8), "different fault seed must differ");
     }
 
     #[test]

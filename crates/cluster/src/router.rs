@@ -9,6 +9,8 @@
 //! `ServingSystem::load_signal()` instead of being thrown away at the node
 //! boundary.
 
+use std::collections::HashMap;
+
 use paella_sim::{SimDuration, Xoshiro256pp};
 
 /// How the cluster router balances requests across a model's replica set.
@@ -54,7 +56,10 @@ pub struct NodeLoad {
 /// break to the lowest node index and the RNG is seeded at construction.
 pub struct ClusterRouter {
     policy: RoutingPolicy,
-    cursor: usize,
+    /// Round-robin cursor *per candidate set*: a single global cursor would
+    /// skew the rotation whenever picks over replica sets of different sizes
+    /// interleave (alternating 2- and 3-replica models starves one replica).
+    cursors: HashMap<Vec<usize>, usize>,
     rng: Xoshiro256pp,
 }
 
@@ -63,7 +68,7 @@ impl ClusterRouter {
     pub fn new(policy: RoutingPolicy, seed: u64) -> Self {
         ClusterRouter {
             policy,
-            cursor: 0,
+            cursors: HashMap::new(),
             rng: Xoshiro256pp::seed_from_u64(seed),
         }
     }
@@ -88,8 +93,9 @@ impl ClusterRouter {
         }
         match self.policy {
             RoutingPolicy::RoundRobin => {
-                let pos = self.cursor % candidates.len();
-                self.cursor = self.cursor.wrapping_add(1);
+                let cursor = self.cursors.entry(candidates.to_vec()).or_insert(0);
+                let pos = *cursor % candidates.len();
+                *cursor = cursor.wrapping_add(1);
                 pos
             }
             RoutingPolicy::Jsq => min_by_key(loads, |l| l.outstanding),
@@ -142,6 +148,27 @@ mod tests {
         let l = [load(9, 9), load(0, 0), load(5, 5)];
         let picks: Vec<usize> = (0..6).map(|_| r.pick(&c, &l)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2], "load-oblivious rotation");
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly_per_candidate_set() {
+        // Interleaved picks over a 2-replica and a 3-replica set: each set
+        // must rotate through all of its members independently. A single
+        // global cursor would advance by 2 per set between visits and strand
+        // the rotation on a subset.
+        let mut r = ClusterRouter::new(RoutingPolicy::RoundRobin, 1);
+        let two = [0, 1];
+        let three = [0, 1, 2];
+        let l2 = [load(0, 0); 2];
+        let l3 = [load(0, 0); 3];
+        let mut picks2 = Vec::new();
+        let mut picks3 = Vec::new();
+        for _ in 0..6 {
+            picks2.push(r.pick(&two, &l2));
+            picks3.push(r.pick(&three, &l3));
+        }
+        assert_eq!(picks2, vec![0, 1, 0, 1, 0, 1], "2-set rotation unskewed");
+        assert_eq!(picks3, vec![0, 1, 2, 0, 1, 2], "3-set rotation unskewed");
     }
 
     #[test]

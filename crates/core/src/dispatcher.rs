@@ -16,14 +16,17 @@ use paella_gpu::{
     CopyDir, DeviceConfig, GpuOutput, GpuSim, InstrumentationSpec, KernelLaunch, MemcpyOp,
     MemcpyUid, StreamId,
 };
-use paella_sim::{EventQueue, SimDuration, SimTime};
+use paella_sim::{EventQueue, SimDuration, SimTime, Xoshiro256pp};
 use paella_telemetry::{
     HoldReason, HostOpKind, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceLog, Tracer,
 };
 
 use crate::occupancy::OccupancyTracker;
 use crate::sched::{JobInfo, Scheduler};
-use crate::types::{ClientId, InferenceRequest, JobCompletion, JobId, LatencyBreakdown, ModelId};
+use crate::types::{
+    ClientId, FailureReason, InferenceRequest, JobCompletion, JobFailure, JobId, LatencyBreakdown,
+    ModelId,
+};
 use crate::waitlist::{VStream, Waitlist};
 
 /// Dispatch granularity (Table 3's "Dispatch" column).
@@ -109,6 +112,28 @@ pub struct DispatcherConfig {
     /// shard gets its own notifQ (§5.2: "a single notifQ for each dispatcher
     /// thread").
     pub dispatcher_cores: u32,
+    /// Injected per-kernel fault probability (DESIGN §11): each kernel
+    /// completion is independently declared a fault with this probability,
+    /// rolled on the dispatcher's own seeded RNG in DES order so same-seed
+    /// runs fault identically. `0.0` disables injection.
+    pub kernel_fault_rate: f64,
+    /// How many times a faulted kernel is re-dispatched before the whole job
+    /// fails with [`FailureReason::RetryBudgetExhausted`].
+    pub retry_budget: u32,
+    /// Base backoff before a faulted kernel's first retry; doubles per
+    /// subsequent fault of the same op (exponential backoff).
+    pub retry_backoff: SimDuration,
+    /// Per-request deadline as a multiple of the model's profiled total
+    /// estimate, anchored at `submitted_at`; the job is cancelled and its
+    /// resources reclaimed when it passes. `None` disables deadlines.
+    pub deadline_factor: Option<f64>,
+    /// Lower bound on the deadline budget, so tiny models are not cancelled
+    /// on queueing noise.
+    pub deadline_floor: SimDuration,
+    /// Admission-control watermark: a request arriving while
+    /// `load_signal().outstanding()` is at or above this is shed instead of
+    /// queued. `None` disables shedding.
+    pub shed_watermark: Option<u64>,
 }
 
 impl Default for DispatcherConfig {
@@ -141,6 +166,12 @@ impl Default for DispatcherConfig {
             online_profiling: true,
             notifq_capacity: 65_536,
             dispatcher_cores: 1,
+            kernel_fault_rate: 0.0,
+            retry_budget: 3,
+            retry_backoff: SimDuration::from_micros(20),
+            deadline_factor: None,
+            deadline_floor: SimDuration::from_micros(500),
+            shed_watermark: None,
         }
     }
 }
@@ -298,6 +329,11 @@ enum Ev {
     /// work estimate charged to `queued_work` at submit time so the exact
     /// amount is released at ingest even if the profile refines in between.
     Ingest(InferenceRequest, SimDuration),
+    /// The job's deadline passed; cancel it if still in flight. Stale
+    /// deadlines (job already finished) are harmless: job ids never reuse.
+    Deadline(JobId),
+    /// Re-dispatch op `token` of a job whose kernel faulted, after backoff.
+    Retry(JobId, u64),
 }
 
 /// The dispatcher plus the device it drives.
@@ -349,6 +385,17 @@ pub struct Dispatcher {
     /// O(in-flight jobs) per router poll.
     inflight_work_us: f64,
     now: SimTime,
+    /// Bernoulli source for injected kernel faults, independent of the GPU's
+    /// own RNG so enabling faults never perturbs device timing draws.
+    fault_rng: Xoshiro256pp,
+    /// Terminal failures (shed, deadline, disconnect, crash loss) awaiting
+    /// [`drain_failures`](Self::drain_failures).
+    failures: Vec<JobFailure>,
+    /// Clients that disconnected: their in-flight jobs were cancelled and
+    /// later submissions are refused.
+    disconnected: std::collections::HashSet<ClientId>,
+    /// Fault count per op, for retry budgeting and backoff doubling.
+    kernel_attempts: HashMap<(JobId, u64), u32>,
     /// Structured telemetry sink for host-side events (no-op by default).
     tracer: Tracer,
     /// Metrics registry, allocated only when telemetry is enabled.
@@ -406,6 +453,10 @@ impl Dispatcher {
             queued_work: SimDuration::ZERO,
             inflight_work_us: 0.0,
             now: SimTime::ZERO,
+            fault_rng: Xoshiro256pp::seed_from_u64(seed ^ 0xFA_0175),
+            failures: Vec::new(),
+            disconnected: std::collections::HashSet::new(),
+            kernel_attempts: HashMap::new(),
             tracer: Tracer::disabled(),
             metrics: None,
             next_sample: SimTime::ZERO,
@@ -484,6 +535,13 @@ impl Dispatcher {
         self.scheduler.name()
     }
 
+    /// Adjusts the injected per-kernel fault probability at runtime (the
+    /// cluster tier applies a [`FaultPlan`](paella_sim::FaultPlan)'s rate to
+    /// nodes built before the plan existed).
+    pub fn set_kernel_fault_rate(&mut self, rate: f64) {
+        self.cfg.kernel_fault_rate = rate;
+    }
+
     /// Total dispatcher CPU busy time so far.
     pub fn cpu_busy(&self) -> SimDuration {
         self.cpu_busy
@@ -544,6 +602,18 @@ impl Dispatcher {
     #[doc(hidden)]
     pub fn inflight_work_incremental_us(&self) -> f64 {
         self.inflight_work_us
+    }
+
+    /// Kernels the occupancy mirror still tracks (conservation test hook).
+    #[doc(hidden)]
+    pub fn occupancy_tracked_kernels(&self) -> usize {
+        self.occupancy.tracked_kernels()
+    }
+
+    /// Blocks the occupancy mirror counts resident (conservation test hook).
+    #[doc(hidden)]
+    pub fn occupancy_resident_blocks(&self) -> u64 {
+        self.occupancy.resident_blocks()
     }
 
     // -- incremental LoadSignal maintenance ---------------------------------
@@ -607,6 +677,32 @@ impl Dispatcher {
     /// request crosses the shared-memory ring and is ingested when the
     /// dispatcher polls it.
     pub fn submit(&mut self, req: InferenceRequest) {
+        if self.disconnected.contains(&req.client) {
+            self.failures.push(JobFailure {
+                request: req,
+                reason: FailureReason::Disconnected,
+                at: req.submitted_at,
+            });
+            return;
+        }
+        if let Some(w) = self.cfg.shed_watermark {
+            if self.load_signal().outstanding() >= w {
+                self.tracer
+                    .record_with(req.submitted_at, || TraceEvent::RequestShed {
+                        client: req.client.0,
+                        model: req.model.0,
+                    });
+                if let Some(m) = self.metrics.as_mut() {
+                    m.inc("requests_shed", 1);
+                }
+                self.failures.push(JobFailure {
+                    request: req,
+                    reason: FailureReason::Shed,
+                    at: req.submitted_at,
+                });
+                return;
+            }
+        }
         let arrive = req
             .submitted_at
             .saturating_add(self.channel_submit_latency())
@@ -668,6 +764,8 @@ impl Dispatcher {
                 self.now = self.now.max(at);
                 match ev {
                     Ev::Ingest(req, est) => self.ingest(at, req, est),
+                    Ev::Deadline(id) => self.cancel_job(id, at, FailureReason::DeadlineExceeded),
+                    Ev::Retry(id, token) => self.retry_kernel(id, token, at),
                 }
             }
             self.try_dispatch();
@@ -725,6 +823,11 @@ impl Dispatcher {
         std::mem::take(&mut self.completions)
     }
 
+    /// Takes all terminal failures recorded so far.
+    pub fn drain_failures(&mut self) -> Vec<JobFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
     // -- CPU accounting -----------------------------------------------------
 
     /// Charges `cost` of CPU work that can start no earlier than `ready`;
@@ -771,6 +874,16 @@ impl Dispatcher {
     fn ingest(&mut self, at: SimTime, req: InferenceRequest, charged: SimDuration) {
         self.queued_ingest = self.queued_ingest.saturating_sub(1);
         self.queued_work = self.queued_work.saturating_sub(charged);
+        // A request queued on the ring when its client disconnected fails
+        // here, without ever becoming a job.
+        if self.disconnected.contains(&req.client) {
+            self.failures.push(JobFailure {
+                request: req,
+                reason: FailureReason::Disconnected,
+                at,
+            });
+            return;
+        }
         let t_ingested =
             self.charge_cpu_traced(req.client, at, self.cfg.ingest_cost, HostOpKind::Ingest);
         *self.client_inflight.entry(req.client).or_insert(0) += 1;
@@ -872,6 +985,12 @@ impl Dispatcher {
         self.jobs.insert(id, job);
         self.load_add_job(model_idx);
         self.assign_stream(id);
+        if let Some(f) = self.cfg.deadline_factor {
+            let budget = total_estimate.mul_f64(f).max(self.cfg.deadline_floor);
+            let deadline = req.submitted_at.saturating_add(budget);
+            self.events
+                .schedule_at(deadline.max(self.events.now()), Ev::Deadline(id));
+        }
 
         match self.cfg.granularity {
             Granularity::Job => self.dispatch_whole_job(id, t_ingested),
@@ -1287,6 +1406,17 @@ impl Dispatcher {
                     self.occupancy.on_kernel_completed(uid);
                 }
                 if let Some((job, token)) = self.kernel_to_job.remove(&uid) {
+                    // Injected kernel fault (DESIGN §11): the execution's
+                    // results are discarded and the op is retried with
+                    // backoff. Rolled per completion in DES order, so same
+                    // seed ⇒ identical fault sets.
+                    if self.cfg.kernel_fault_rate > 0.0
+                        && self.fault_rng.chance(self.cfg.kernel_fault_rate)
+                    {
+                        self.kernel_started.remove(&uid);
+                        self.on_kernel_fault(job, token, uid, at);
+                        return;
+                    }
                     // Online profile refinement from the observed span.
                     if let Some(started) = self.kernel_started.remove(&uid) {
                         let j = &self.jobs[&job];
@@ -1383,31 +1513,7 @@ impl Dispatcher {
                 self.scheduler.client_idle(j.request.client);
             }
         }
-        // Return the pool streams and retry any waiters, oldest first.
-        if matches!(self.cfg.streams, StreamPolicy::Pool(_)) && j.has_streams() {
-            self.free_streams.extend(j.streams.iter().copied());
-            while let Some(&waiter) = self.stream_waiters.front() {
-                let Some(w) = self.jobs.get(&waiter) else {
-                    self.stream_waiters.pop_front();
-                    continue;
-                };
-                let want = w.vstreams.len().max(1);
-                if self.free_streams.len() < want {
-                    break;
-                }
-                self.stream_waiters.pop_front();
-                // invariant: the len() < want break above bounds the pops.
-                let streams: Vec<StreamId> = (0..want)
-                    .map(|_| self.free_streams.pop().expect("checked"))
-                    .collect();
-                if let Some(w) = self.jobs.get_mut(&waiter) {
-                    w.streams = streams;
-                }
-                // Kick the waiter's pending ops now that it can run.
-                self.dispatch_auto_ops(waiter, device_done);
-                self.update_readiness(waiter);
-            }
-        }
+        self.return_streams(&j, device_done);
 
         // Completion path: dispatcher posts the result, client picks it up.
         let t_posted = self.charge_cpu_traced(
@@ -1484,6 +1590,182 @@ impl Dispatcher {
                 device,
             },
         });
+    }
+
+    /// Returns a retiring job's pool streams and re-kicks waiters, oldest
+    /// first. Shared by the completion and cancellation paths.
+    fn return_streams(&mut self, j: &Job, ready: SimTime) {
+        if matches!(self.cfg.streams, StreamPolicy::Pool(_)) && j.has_streams() {
+            self.free_streams.extend(j.streams.iter().copied());
+            while let Some(&waiter) = self.stream_waiters.front() {
+                let Some(w) = self.jobs.get(&waiter) else {
+                    self.stream_waiters.pop_front();
+                    continue;
+                };
+                let want = w.vstreams.len().max(1);
+                if self.free_streams.len() < want {
+                    break;
+                }
+                self.stream_waiters.pop_front();
+                // invariant: the len() < want break above bounds the pops.
+                let streams: Vec<StreamId> = (0..want)
+                    .map(|_| self.free_streams.pop().expect("checked"))
+                    .collect();
+                if let Some(w) = self.jobs.get_mut(&waiter) {
+                    w.streams = streams;
+                }
+                // Kick the waiter's pending ops now that it can run.
+                self.dispatch_auto_ops(waiter, ready);
+                self.update_readiness(waiter);
+            }
+        }
+    }
+
+    // -- failure handling (DESIGN §11) --------------------------------------
+
+    /// A dispatched kernel's execution faulted: schedule a backoff retry, or
+    /// give the whole job up once the retry budget is spent.
+    fn on_kernel_fault(&mut self, id: JobId, token: u64, uid: KernelUid, at: SimTime) {
+        let attempt = {
+            let e = self.kernel_attempts.entry((id, token)).or_insert(0);
+            *e += 1;
+            *e
+        };
+        self.tracer.record_with(at, || TraceEvent::KernelFault {
+            job: id.0,
+            kernel: u64::from(uid),
+            attempt,
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("kernel_faults", 1);
+        }
+        if attempt > self.cfg.retry_budget {
+            self.cancel_job(id, at, FailureReason::RetryBudgetExhausted);
+            return;
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("kernel_retries", 1);
+        }
+        // Exponential backoff, shift-capped so the doubling can't overflow.
+        let backoff = self.cfg.retry_backoff * (1u64 << (attempt - 1).min(16));
+        self.events.schedule_at(
+            at.saturating_add(backoff).max(self.events.now()),
+            Ev::Retry(id, token),
+        );
+    }
+
+    /// Re-dispatches a faulted op after its backoff elapsed.
+    fn retry_kernel(&mut self, id: JobId, token: u64, at: SimTime) {
+        if !self.jobs.contains_key(&id) {
+            return; // cancelled while backing off
+        }
+        // dispatch_op re-increments `outstanding` and the per-location done
+        // count, but the faulted attempt never decremented `outstanding`
+        // (its completion was discarded), so compensate here. The done-count
+        // over-increment is harmless: every consumer clamps remaining work
+        // with max(0, C̄ − done).
+        self.dispatch_op(id, token, at, false);
+        if let Some(j) = self.jobs.get_mut(&id) {
+            j.outstanding -= 1;
+        }
+    }
+
+    /// Cancels one in-flight job and reclaims everything it holds: queued
+    /// waitlist ops, scheduler state, stream-pool slots, notifQ reservations,
+    /// and the occupancy mirror's accounting for its in-flight kernels. The
+    /// device runs already-placed kernels to completion, but their outputs no
+    /// longer map to a job, so late notifications and completions fall
+    /// through the uid lookups harmlessly.
+    fn cancel_job(&mut self, id: JobId, at: SimTime, reason: FailureReason) {
+        let Some(mut j) = self.jobs.remove(&id) else {
+            return; // already finished or cancelled (e.g. a stale deadline)
+        };
+        self.load_remove_job(j.request.model.0 as usize, &j.done_counts);
+        self.scheduler.job_done(id);
+        if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
+            *n -= 1;
+            if *n == 0 {
+                self.client_inflight.remove(&j.request.client);
+                self.scheduler.client_idle(j.request.client);
+            }
+        }
+        // Reclaim in-flight kernels, in sorted uid order so cancellation is
+        // independent of HashMap iteration order.
+        let mut kuids: Vec<KernelUid> = self
+            .kernel_to_job
+            .iter()
+            .filter(|&(_, &(job, _))| job == id)
+            .map(|(&uid, _)| uid)
+            .collect();
+        kuids.sort_unstable();
+        for uid in kuids {
+            self.kernel_to_job.remove(&uid);
+            self.kernel_started.remove(&uid);
+            if let Some(rest) = self.notifq_reserved.remove(&uid) {
+                self.notifq_outstanding -= rest;
+            }
+            if self.cfg.instrument {
+                self.occupancy.on_kernel_completed(uid);
+            }
+        }
+        self.memcpy_to_job.retain(|_, &mut (job, _)| job != id);
+        self.kernel_attempts.retain(|&(job, _), _| job != id);
+        // Drain queued ops so the waitlist leaves no orphaned dependents.
+        j.waitlist.drain();
+        self.return_streams(&j, at);
+        let reason_str = reason.as_str();
+        self.tracer.record_with(at, || TraceEvent::JobCancelled {
+            job: id.0,
+            reason: reason_str,
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("jobs_cancelled", 1);
+        }
+        self.failures.push(JobFailure {
+            request: j.request,
+            reason,
+            at,
+        });
+    }
+
+    /// A client disconnected: cancel its in-flight jobs and refuse its later
+    /// submissions (including requests already queued on its ring).
+    pub fn cancel_client(&mut self, client: ClientId, at: SimTime) {
+        self.disconnected.insert(client);
+        let mut ids: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.request.client == client)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.cancel_job(id, at, FailureReason::Disconnected);
+        }
+    }
+
+    /// Fails everything the dispatcher holds — queued ingests and in-flight
+    /// jobs alike — with the given reason. The cluster tier calls this when
+    /// the node crashes, then drains the failures for re-routing.
+    pub fn cancel_all(&mut self, at: SimTime, reason: FailureReason) {
+        // Pending host events: queued ingests become failures (the ring's
+        // contents are lost with the node); stale deadlines/retries are moot.
+        for (_, ev) in self.events.drain() {
+            if let Ev::Ingest(req, est) = ev {
+                self.queued_ingest = self.queued_ingest.saturating_sub(1);
+                self.queued_work = self.queued_work.saturating_sub(est);
+                self.failures.push(JobFailure {
+                    request: req,
+                    reason,
+                    at,
+                });
+            }
+        }
+        let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.cancel_job(id, at, reason);
+        }
     }
 }
 

@@ -36,5 +36,8 @@ pub use sched::{
     FifoScheduler, JobInfo, RrScheduler, Scheduler, SjfScheduler, SrptDeficitScheduler,
 };
 pub use serve::ServingSystem;
-pub use types::{ClientId, InferenceRequest, JobCompletion, JobId, LatencyBreakdown, ModelId};
+pub use types::{
+    ClientId, FailureReason, InferenceRequest, JobCompletion, JobFailure, JobId, LatencyBreakdown,
+    ModelId,
+};
 pub use waitlist::{OpToken, StreamKind, VStream, Waitlist, WaitlistError};

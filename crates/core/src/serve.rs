@@ -7,7 +7,7 @@ use paella_sim::SimTime;
 use paella_telemetry::{MetricsSnapshot, TraceLog};
 
 use crate::dispatcher::Dispatcher;
-use crate::types::{InferenceRequest, JobCompletion, LoadSignal, ModelId};
+use crate::types::{InferenceRequest, JobCompletion, JobFailure, LoadSignal, ModelId};
 
 /// A model-serving system running on simulated time.
 pub trait ServingSystem {
@@ -25,6 +25,12 @@ pub trait ServingSystem {
 
     /// Takes completions recorded so far.
     fn drain_completions(&mut self) -> Vec<JobCompletion>;
+
+    /// Takes terminal failures (shed, deadline, disconnect, crash loss)
+    /// recorded so far. Systems without a failure path never produce any.
+    fn drain_failures(&mut self) -> Vec<JobFailure> {
+        Vec::new()
+    }
 
     /// Runs until all in-flight work drains.
     fn run_to_idle(&mut self) {
@@ -77,6 +83,10 @@ impl ServingSystem for Dispatcher {
 
     fn drain_completions(&mut self) -> Vec<JobCompletion> {
         Dispatcher::drain_completions(self)
+    }
+
+    fn drain_failures(&mut self) -> Vec<JobFailure> {
+        Dispatcher::drain_failures(self)
     }
 
     fn name(&self) -> String {

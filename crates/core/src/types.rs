@@ -77,6 +77,48 @@ impl LoadSignal {
     }
 }
 
+/// Why a request failed instead of completing (DESIGN §11).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureReason {
+    /// The job's deadline passed before its last op finished; the
+    /// dispatcher cancelled it and reclaimed its resources.
+    DeadlineExceeded,
+    /// Admission control refused the request: the load signal was at or
+    /// above the shed watermark when it arrived.
+    Shed,
+    /// The submitting client disconnected (injected fault).
+    Disconnected,
+    /// A kernel faulted more times than the retry budget allows.
+    RetryBudgetExhausted,
+    /// The node holding the request crashed (the cluster tier may re-route
+    /// and retry; standalone dispatchers report it terminally).
+    NodeCrash,
+}
+
+impl FailureReason {
+    /// Stable display name (telemetry labels, bench output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureReason::DeadlineExceeded => "deadline-exceeded",
+            FailureReason::Shed => "shed",
+            FailureReason::Disconnected => "disconnected",
+            FailureReason::RetryBudgetExhausted => "retry-budget-exhausted",
+            FailureReason::NodeCrash => "node-crash",
+        }
+    }
+}
+
+/// A request that terminated without a [`JobCompletion`].
+#[derive(Clone, Copy, Debug)]
+pub struct JobFailure {
+    /// The failed request.
+    pub request: InferenceRequest,
+    /// Why it failed.
+    pub reason: FailureReason,
+    /// When the failure was decided.
+    pub at: SimTime,
+}
+
 /// A finished job as reported back to the harness/client.
 #[derive(Clone, Copy, Debug)]
 pub struct JobCompletion {

@@ -403,6 +403,29 @@ impl Waitlist {
         newly
     }
 
+    /// Cancels every tracked op at once (job cancellation: deadline,
+    /// disconnect, node crash). Returns the drained `(stream, token)` pairs
+    /// in deterministic order — streams ascending, issue order within each —
+    /// and leaves the waitlist empty with all ordering state (unreleased
+    /// sets, dependency bookkeeping) rolled back, so `len() == 0` and a
+    /// subsequent push sees a clean slate.
+    pub fn drain(&mut self) -> Vec<(VStream, OpToken)> {
+        let mut streams: Vec<VStream> = self.streams.keys().copied().collect();
+        streams.sort();
+        let mut out = Vec::with_capacity(self.len);
+        for s in streams {
+            if let Some(q) = self.streams.remove(&s) {
+                for e in q {
+                    out.push((s, e.token));
+                }
+            }
+        }
+        self.default_unreleased.clear();
+        self.blocking_unreleased.clear();
+        self.len = 0;
+        out
+    }
+
     /// Number of ops still tracked (released-but-running included).
     pub fn len(&self) -> usize {
         self.len
@@ -673,6 +696,25 @@ mod tests {
         // A non-blocking stream carries no serialization edge: no cycle.
         w.declare_stream(VStream(9), StreamKind::NonBlocking);
         assert!(w.push(VStream(9), 2).unwrap());
+    }
+
+    #[test]
+    fn drain_empties_and_resets_ordering_state() {
+        let mut w = Waitlist::new();
+        push(&mut w, VStream::DEFAULT, 1);
+        push(&mut w, VStream(1), 2);
+        push(&mut w, VStream(1), 3);
+        let _ = w.release(VStream::DEFAULT, 1); // released-but-running
+        assert_eq!(
+            w.drain(),
+            vec![(VStream::DEFAULT, 1), (VStream(1), 2), (VStream(1), 3)],
+            "drained in stream, then issue order"
+        );
+        assert!(w.is_empty());
+        assert_eq!(w.drain(), Vec::new(), "second drain is a no-op");
+        // A fresh op on a blocking stream must not wait on the drained
+        // stream-0 op: the unreleased sets were rolled back.
+        assert!(push(&mut w, VStream(2), 9), "clean slate after drain");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use paella_channels::ChannelConfig;
 use paella_core::{
-    ClientId, Dispatcher, DispatcherConfig, FifoScheduler, InferenceRequest, JobCompletion,
-    ModelId, SrptDeficitScheduler,
+    ClientId, Dispatcher, DispatcherConfig, FailureReason, FifoScheduler, InferenceRequest,
+    JobCompletion, ModelId, SrptDeficitScheduler,
 };
 use paella_gpu::DeviceConfig;
 use paella_models::synthetic;
@@ -543,4 +543,210 @@ fn copy_only_job_completes() {
         done[0].jct()
     );
     assert!(done[0].almost_finished_at.is_some());
+}
+
+// -- failure handling (DESIGN §11) ------------------------------------------
+
+fn paella_with(cfg: DispatcherConfig, seed: u64) -> Dispatcher {
+    Dispatcher::new(
+        DeviceConfig::tesla_t4(),
+        ChannelConfig::default(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        cfg,
+        seed,
+    )
+}
+
+#[test]
+fn deadline_cancels_stragglers_and_reclaims_resources() {
+    // A deadline barely above the uncontended runtime: under a heavy burst
+    // most jobs can't make it and must be cancelled, not completed late.
+    let mut cfg = DispatcherConfig::paella();
+    cfg.deadline_factor = Some(1.5);
+    cfg.deadline_floor = SimDuration::from_micros(100);
+    let mut d = paella_with(cfg, 42);
+    let model = d.register_model(&synthetic::uniform_job(
+        "dl",
+        8,
+        SimDuration::from_micros(300),
+        320, // device-filling: queued jobs stack up way past 1.5× solo time
+    ));
+    for i in 0..24u32 {
+        d.submit(InferenceRequest {
+            client: ClientId(i % 4),
+            model,
+            submitted_at: SimTime::ZERO,
+        });
+    }
+    d.run_to_idle();
+    let done = d.drain_completions();
+    let failed = d.drain_failures();
+    assert_eq!(done.len() + failed.len(), 24, "every request accounted for");
+    assert!(!failed.is_empty(), "burst must blow some deadlines");
+    assert!(failed
+        .iter()
+        .all(|f| f.reason == FailureReason::DeadlineExceeded));
+    // Completions that did land honored the deadline budget.
+    let budget = d.profile_estimate(model).mul_f64(1.5);
+    for c in &done {
+        assert!(c.jct() <= budget + SimDuration::from_micros(1));
+    }
+    assert_eq!(d.inflight(), 0);
+    assert_eq!(d.occupancy_tracked_kernels(), 0, "mirror fully reconciled");
+    assert_eq!(d.occupancy_resident_blocks(), 0, "no leaked residency");
+    let sig = d.load_signal();
+    assert_eq!(sig.outstanding(), 0, "load signal drains to zero");
+}
+
+#[test]
+fn shed_watermark_bounds_admission() {
+    let mut cfg = DispatcherConfig::paella();
+    cfg.shed_watermark = Some(8);
+    let mut d = paella_with(cfg, 42);
+    let model = d.register_model(&synthetic::fig2_job());
+    // One burst at t=0: everything past the watermark is shed immediately.
+    for i in 0..40u32 {
+        d.submit(InferenceRequest {
+            client: ClientId(i % 4),
+            model,
+            submitted_at: SimTime::ZERO,
+        });
+    }
+    d.run_to_idle();
+    let done = d.drain_completions();
+    let failed = d.drain_failures();
+    assert_eq!(done.len(), 8, "exactly the watermark's worth admitted");
+    assert_eq!(failed.len(), 32);
+    assert!(failed.iter().all(|f| f.reason == FailureReason::Shed));
+    assert!(
+        failed.iter().all(|f| f.at == SimTime::ZERO),
+        "shedding is decided at submit time, not queued"
+    );
+}
+
+#[test]
+fn client_disconnect_cancels_in_flight_and_refuses_later() {
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::fig2_job());
+    for c in 0..2u32 {
+        for _ in 0..4 {
+            d.submit(InferenceRequest {
+                client: ClientId(c),
+                model,
+                submitted_at: SimTime::ZERO,
+            });
+        }
+    }
+    // Let the work get mid-flight, then client 0 drops.
+    d.advance_until(SimTime::from_micros(500));
+    d.cancel_client(ClientId(0), SimTime::from_micros(500));
+    // A post-disconnect submission is refused outright.
+    d.submit(InferenceRequest {
+        client: ClientId(0),
+        model,
+        submitted_at: SimTime::from_micros(600),
+    });
+    d.run_to_idle();
+    let done = d.drain_completions();
+    let failed = d.drain_failures();
+    assert!(
+        done.iter().all(|c| c.request.client == ClientId(1)),
+        "no completion for the disconnected client"
+    );
+    assert_eq!(done.len(), 4, "the surviving client is unaffected");
+    assert_eq!(failed.len(), 5);
+    assert!(failed
+        .iter()
+        .all(|f| f.reason == FailureReason::Disconnected && f.request.client == ClientId(0)));
+    assert_eq!(d.inflight(), 0);
+    assert_eq!(d.occupancy_tracked_kernels(), 0);
+}
+
+#[test]
+fn kernel_faults_retry_transparently() {
+    // A 10% per-kernel fault rate with budget to spare: everything still
+    // completes, just slower than the fault-free run.
+    let mut cfg = DispatcherConfig::paella();
+    cfg.kernel_fault_rate = 0.10;
+    cfg.retry_budget = 10;
+    let mut d = paella_with(cfg, 42);
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 32, SimDuration::from_micros(50), 0);
+    d.run_to_idle();
+    let done = d.drain_completions();
+    let failed = d.drain_failures();
+    assert_eq!(done.len(), 32, "retries must mask faults: {failed:?}");
+    assert!(failed.is_empty());
+    assert_eq!(d.inflight(), 0);
+    assert_eq!(d.occupancy_tracked_kernels(), 0);
+}
+
+#[test]
+fn retry_budget_exhaustion_fails_the_job() {
+    // Every kernel execution faults: after 1 + retry_budget attempts on the
+    // first kernel the job must fail terminally, never hang.
+    let mut cfg = DispatcherConfig::paella();
+    cfg.kernel_fault_rate = 1.0;
+    cfg.retry_budget = 2;
+    let mut d = paella_with(cfg, 42);
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 4, SimDuration::ZERO, 0);
+    d.run_to_idle();
+    assert!(d.drain_completions().is_empty());
+    let failed = d.drain_failures();
+    assert_eq!(failed.len(), 4);
+    assert!(failed
+        .iter()
+        .all(|f| f.reason == FailureReason::RetryBudgetExhausted));
+    assert_eq!(d.inflight(), 0);
+    assert_eq!(d.occupancy_tracked_kernels(), 0);
+    assert_eq!(d.occupancy_resident_blocks(), 0);
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let timeline = |seed: u64| {
+        let mut cfg = DispatcherConfig::paella();
+        cfg.kernel_fault_rate = 0.15;
+        cfg.retry_budget = 3;
+        cfg.deadline_factor = Some(8.0);
+        let mut d = paella_with(cfg, seed);
+        let model = d.register_model(&synthetic::fig2_job());
+        submit_n(&mut d, model, 24, SimDuration::from_micros(80), 0);
+        d.run_to_idle();
+        let done: Vec<(u64, u64)> = d
+            .drain_completions()
+            .iter()
+            .map(|c| (c.job.0, c.client_visible_at.as_nanos()))
+            .collect();
+        let failed: Vec<(u64, &'static str)> = d
+            .drain_failures()
+            .iter()
+            .map(|f| (f.at.as_nanos(), f.reason.as_str()))
+            .collect();
+        (done, failed)
+    };
+    assert_eq!(timeline(9), timeline(9), "same seed, same faults");
+    assert_ne!(timeline(9), timeline(10), "faults follow the seed");
+}
+
+#[test]
+fn cancel_all_fails_everything_without_leaks() {
+    let mut d = paella(DeviceConfig::tesla_t4());
+    let model = d.register_model(&synthetic::fig2_job());
+    submit_n(&mut d, model, 16, SimDuration::from_micros(10), 0);
+    // Mid-flight crash: some jobs ingested and running, some still queued.
+    d.advance_until(SimTime::from_micros(400));
+    d.cancel_all(SimTime::from_micros(400), FailureReason::NodeCrash);
+    let failed = d.drain_failures();
+    assert_eq!(failed.len(), 16, "queued and in-flight alike are failed");
+    assert!(failed.iter().all(|f| f.reason == FailureReason::NodeCrash));
+    assert_eq!(d.inflight(), 0);
+    assert_eq!(d.load_signal().outstanding(), 0);
+    // Already-placed kernels run out on the device; their late outputs must
+    // not resurrect anything or corrupt the mirror.
+    d.run_to_idle();
+    assert!(d.drain_completions().is_empty());
+    assert_eq!(d.occupancy_tracked_kernels(), 0);
+    assert_eq!(d.occupancy_resident_blocks(), 0);
 }

@@ -211,6 +211,24 @@ impl<E> EventQueue<E> {
         Some((e.at, e.payload))
     }
 
+    /// Removes and returns every pending (non-cancelled) event, sorted by
+    /// firing order `(at, seq)`, **without advancing the clock**. Used for
+    /// crash handling: a crashed component's queued events must be recovered
+    /// (to fail or re-route them) while `now` stays put so survivors can keep
+    /// scheduling into what is still their future.
+    pub fn drain(&mut self) -> Vec<(SimTime, E)> {
+        let mut out: Vec<Entry<E>> = Vec::with_capacity(self.pending.len());
+        for e in std::mem::take(&mut self.heap).into_iter() {
+            if !self.cancelled.contains(&e.id) {
+                out.push(e);
+            }
+        }
+        self.pending.clear();
+        self.cancelled.clear();
+        out.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        out.into_iter().map(|e| (e.at, e.payload)).collect()
+    }
+
     fn skip_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.cancelled.remove(&top.id) {
@@ -350,6 +368,32 @@ mod tests {
         assert!(q.compactions() > 0);
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, keep, "survivors deliver in schedule order");
+    }
+
+    #[test]
+    fn drain_returns_pending_in_order_without_advancing_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), "a");
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(300), "c");
+        let b = q.schedule_at(SimTime::from_nanos(200), "b");
+        q.schedule_at(SimTime::from_nanos(200), "d"); // same instant, later seq
+        q.cancel(b);
+        let drained = q.drain();
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_nanos(200), "d"),
+                (SimTime::from_nanos(300), "c"),
+            ],
+            "cancelled events are skipped; order is (at, seq)"
+        );
+        assert_eq!(q.now(), SimTime::from_nanos(100), "clock untouched");
+        assert!(q.is_empty());
+        assert_eq!(q.cancelled_len(), 0, "tombstones cleared");
+        // The queue is still usable at the un-advanced clock.
+        q.schedule_at(SimTime::from_nanos(150), "later");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(150), "later")));
     }
 
     #[test]

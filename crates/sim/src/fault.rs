@@ -1,0 +1,251 @@
+//! Deterministic fault injection (DESIGN §11).
+//!
+//! A [`FaultPlan`] is the *entire* fault schedule for a run, fixed up front
+//! from a seed. Two kinds of faults exist, with different determinism rules:
+//!
+//! * **Timed events** ([`FaultEvent`]) — node crashes/recoveries and client
+//!   disconnects. These carry an absolute [`SimTime`] and are scheduled on
+//!   the consumer's virtual-time `EventQueue` before the run starts, so they
+//!   interleave with workload events under the queue's deterministic
+//!   `(at, seq)` order. Same plan ⇒ identical injection points.
+//! * **Rate faults** (`kernel_fault_rate`) — per-kernel execution faults.
+//!   Kernels are too numerous and too dynamic to pre-schedule, so the
+//!   consumer rolls a seeded Bernoulli per kernel completion instead
+//!   (mirroring the GPU simulator's `notif_drop_rate`). The rolls happen in
+//!   DES processing order, which is itself deterministic, so same seed ⇒
+//!   identical fault sets.
+//!
+//! The plan is pure data: it does not know what a "node" or "client" is
+//! beyond an index, and it holds no RNG of its own after generation.
+
+use crate::rng::Xoshiro256pp;
+use crate::time::{SimDuration, SimTime};
+
+/// What a timed fault does when it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Client `.0` disconnects: its queued and in-flight requests are
+    /// cancelled and later submissions from it are refused.
+    ClientDisconnect(u32),
+    /// Node `.0` crashes: all queued and in-flight work on it is lost (the
+    /// cluster frontend re-routes what it can) and the node goes offline.
+    NodeCrash(u32),
+    /// Node `.0` recovers from a crash and begins a cold start.
+    NodeRecover(u32),
+}
+
+/// A timed fault: `kind` fires at absolute virtual time `at`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    /// Absolute virtual time at which the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability that any given kernel completion is a fault (rolled by
+    /// the dispatcher with its own seeded RNG, in DES order). `0.0` disables
+    /// kernel faults.
+    pub kernel_fault_rate: f64,
+    /// Timed faults, sorted by `(at, generation index)`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults of any kind.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kernel_fault_rate == 0.0 && self.events.is_empty()
+    }
+}
+
+/// Parameters for [`FaultSpec::generate`]: a compact description of a fault
+/// scenario that expands into a concrete [`FaultPlan`] under a seed.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// Per-kernel fault probability (copied into the plan).
+    pub kernel_fault_rate: f64,
+    /// Number of node crashes to inject.
+    pub node_crashes: u32,
+    /// Number of nodes in the fleet (crash targets are drawn from
+    /// `0..nodes`, without replacement while possible).
+    pub nodes: u32,
+    /// Crashes are drawn uniformly in `[window_start, window_end)`.
+    pub window_start: SimTime,
+    /// End of the crash window (exclusive).
+    pub window_end: SimTime,
+    /// Each crashed node recovers this long after its crash; `None` means
+    /// crashed nodes stay down.
+    pub recovery_after: Option<SimDuration>,
+    /// Number of client disconnects to inject (clients drawn from
+    /// `0..clients`, times drawn from the same window).
+    pub client_disconnects: u32,
+    /// Number of clients in the workload.
+    pub clients: u32,
+}
+
+impl FaultSpec {
+    /// Expands the spec into a concrete plan. Same `(spec, seed)` ⇒
+    /// identical plan. Crash targets are distinct while `node_crashes <=
+    /// nodes`; times are uniform over the window; events are sorted by
+    /// `(at, generation index)` so ties resolve deterministically.
+    pub fn generate(&self, seed: u64) -> FaultPlan {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x00FA_117F_A117);
+        let window = self
+            .window_end
+            .saturating_since(self.window_start)
+            .as_nanos();
+        let draw_at = |rng: &mut Xoshiro256pp| {
+            let off = if window == 0 {
+                0
+            } else {
+                rng.next_below(window)
+            };
+            self.window_start
+                .saturating_add(SimDuration::from_nanos(off))
+        };
+        let mut events: Vec<FaultEvent> = Vec::new();
+        // Distinct crash targets while the fleet allows it.
+        let mut targets: Vec<u32> = (0..self.nodes).collect();
+        rng.shuffle(&mut targets);
+        for i in 0..self.node_crashes {
+            let node = if (i as usize) < targets.len() {
+                targets[i as usize]
+            } else if self.nodes == 0 {
+                break;
+            } else {
+                rng.next_below(self.nodes as u64) as u32
+            };
+            let at = draw_at(&mut rng);
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::NodeCrash(node),
+            });
+            if let Some(after) = self.recovery_after {
+                events.push(FaultEvent {
+                    at: at.saturating_add(after),
+                    kind: FaultKind::NodeRecover(node),
+                });
+            }
+        }
+        for _ in 0..self.client_disconnects {
+            if self.clients == 0 {
+                break;
+            }
+            let client = rng.next_below(self.clients as u64) as u32;
+            events.push(FaultEvent {
+                at: draw_at(&mut rng),
+                kind: FaultKind::ClientDisconnect(client),
+            });
+        }
+        // Stable sort keeps generation order as the tie-break, so a crash
+        // generated before a disconnect at the same instant fires first.
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            kernel_fault_rate: self.kernel_fault_rate,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            kernel_fault_rate: 0.01,
+            node_crashes: 2,
+            nodes: 4,
+            window_start: SimTime::from_millis(10),
+            window_end: SimTime::from_millis(50),
+            recovery_after: Some(SimDuration::from_millis(15)),
+            client_disconnects: 3,
+            clients: 8,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = spec().generate(42);
+        let b = spec().generate(42);
+        assert_eq!(a.kernel_fault_rate, b.kernel_fault_rate);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seed_different_plan() {
+        let a = spec().generate(1);
+        let b = spec().generate(2);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn crash_targets_are_distinct_and_recoveries_paired() {
+        let plan = spec().generate(7);
+        let crashes: Vec<u32> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::NodeCrash(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        assert_ne!(crashes[0], crashes[1], "targets drawn without replacement");
+        for &node in &crashes {
+            let crash_at = plan
+                .events
+                .iter()
+                .find(|e| e.kind == FaultKind::NodeCrash(node))
+                .map(|e| e.at)
+                .expect("crash exists");
+            let recover_at = plan
+                .events
+                .iter()
+                .find(|e| e.kind == FaultKind::NodeRecover(node))
+                .map(|e| e.at)
+                .expect("recovery paired with crash");
+            assert_eq!(
+                recover_at,
+                crash_at.saturating_add(SimDuration::from_millis(15))
+            );
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_inside_window() {
+        let plan = spec().generate(9);
+        let mut prev = SimTime::ZERO;
+        for e in &plan.events {
+            assert!(e.at >= prev, "events sorted by time");
+            prev = e.at;
+            if matches!(
+                e.kind,
+                FaultKind::NodeCrash(_) | FaultKind::ClientDisconnect(_)
+            ) {
+                assert!(e.at >= SimTime::from_millis(10));
+                assert!(e.at < SimTime::from_millis(50));
+            }
+        }
+        assert_eq!(
+            plan.events.len(),
+            2 + 2 + 3,
+            "crashes + recoveries + disconnects"
+        );
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!spec().generate(0).is_empty());
+    }
+}

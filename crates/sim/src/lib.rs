@@ -9,6 +9,8 @@
 //!   [`SimDuration`]).
 //! * [`event`] — a deterministic event queue with stable tie-breaking
 //!   ([`EventQueue`]).
+//! * [`fault`] — seeded fault schedules ([`FaultPlan`]) for deterministic
+//!   fault-injection runs.
 //! * [`rng`] — seedable, version-stable PRNGs ([`Xoshiro256pp`]).
 //! * [`dist`] — the distributions the paper's workloads need (lognormal
 //!   arrivals with σ ∈ {1.5, 2}, exponential, normal, uniform).
@@ -20,12 +22,14 @@
 
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Constant, Distribution, Exponential, LogNormal, Normal, Uniform};
 pub use event::{EventId, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use stats::{BusyTracker, Histogram, OnlineStats, Percentiles};
 pub use time::{SimDuration, SimTime};

@@ -238,6 +238,42 @@ pub enum TraceEvent {
         /// Replica-set size the policy chose from.
         candidates: u32,
     },
+    /// A kernel execution faulted on the device (injected); the dispatcher
+    /// will retry it with backoff until the retry budget runs out.
+    KernelFault {
+        /// Owning job.
+        job: u64,
+        /// Faulted launch uid.
+        kernel: u64,
+        /// 1-based attempt number that faulted.
+        attempt: u32,
+    },
+    /// A job was cancelled mid-flight (deadline, disconnect, retry budget,
+    /// or node crash); its queued ops and occupancy were reclaimed.
+    JobCancelled {
+        /// Cancelled job id.
+        job: u64,
+        /// Stable reason label (`FailureReason::as_str`).
+        reason: &'static str,
+    },
+    /// Admission control refused a request because the load signal exceeded
+    /// the shed watermark.
+    RequestShed {
+        /// Submitting client.
+        client: u32,
+        /// Requested model id.
+        model: u32,
+    },
+    /// A cluster node crashed: its queued and in-flight work was lost.
+    NodeCrash {
+        /// Crashed node index.
+        node: u32,
+    },
+    /// A crashed cluster node came back and began a cold start.
+    NodeRecover {
+        /// Recovering node index.
+        node: u32,
+    },
     /// A periodic virtual-time counter sample (also rendered as a Chrome
     /// counter track).
     CounterSample {
@@ -266,6 +302,11 @@ impl TraceEvent {
             TraceEvent::NotifBatch { .. } => "notif-batch",
             TraceEvent::DoorbellWake { .. } => "doorbell-wake",
             TraceEvent::RouteDecision { .. } => "route-decision",
+            TraceEvent::KernelFault { .. } => "kernel-fault",
+            TraceEvent::JobCancelled { .. } => "job-cancelled",
+            TraceEvent::RequestShed { .. } => "request-shed",
+            TraceEvent::NodeCrash { .. } => "node-crash",
+            TraceEvent::NodeRecover { .. } => "node-recover",
             TraceEvent::CounterSample { .. } => "counter-sample",
         }
     }

@@ -127,6 +127,7 @@ const SCHED_TID: u32 = 90;
 const NOTIF_TID: u32 = 91;
 const DISPATCH_TID: u32 = 92;
 const ROUTER_TID: u32 = 93;
+const FAULTS_TID: u32 = 94;
 
 /// Renders the log as Chrome-trace JSON (array-of-events form).
 pub fn chrome_trace_json(log: &TraceLog) -> String {
@@ -214,6 +215,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     let mut host_cores: BTreeMap<u32, ()> = BTreeMap::new();
     let mut hw_queues: BTreeMap<u32, ()> = BTreeMap::new();
     let mut has_routes = false;
+    let mut has_faults = false;
     for e in &events {
         match e.event {
             TraceEvent::HostOp { core, .. } => {
@@ -224,6 +226,11 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 hw_queues.insert(hw_queue, ());
             }
             TraceEvent::RouteDecision { .. } => has_routes = true,
+            TraceEvent::KernelFault { .. }
+            | TraceEvent::JobCancelled { .. }
+            | TraceEvent::RequestShed { .. }
+            | TraceEvent::NodeCrash { .. }
+            | TraceEvent::NodeRecover { .. } => has_faults = true,
             _ => {}
         }
     }
@@ -243,6 +250,9 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     ];
     if has_routes {
         fixed_tids.push((ROUTER_TID, "cluster router"));
+    }
+    if has_faults {
+        fixed_tids.push((FAULTS_TID, "faults"));
     }
     for (tid, name) in fixed_tids {
         push(
@@ -468,6 +478,55 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 push(
                     format!(
                         r#"{{"ph":"i","name":"route model {model} -> node {node}","cat":"route","s":"t","pid":0,"tid":{ROUTER_TID},"ts":"{at}","args":{{"policy":"{policy}","outstanding":{outstanding},"candidates":{candidates}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::KernelFault {
+                job,
+                kernel,
+                attempt,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"fault #{kernel} (job {job})","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{"attempt":{attempt}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobCancelled { job, reason } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"cancel job {job}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{"reason":"{reason}"}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::RequestShed { client, model } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"shed client {client}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{"model":{model}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::NodeCrash { node } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"crash node {node}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::NodeRecover { node } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"recover node {node}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{}}}}"#
                     ),
                     &mut out,
                     &mut first,
@@ -887,6 +946,41 @@ mod tests {
         let json = chrome_trace_json(&t.take());
         assert!(json.contains(r#""name":"SM 0""#));
         assert!(json.contains(r#""name":"SM 0 (+1)""#), "second lane used");
+    }
+
+    #[test]
+    fn fault_events_render_on_the_faults_track() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(1), || TraceEvent::KernelFault {
+            job: 1,
+            kernel: 7,
+            attempt: 2,
+        });
+        t.record_with(SimTime::from_micros(2), || TraceEvent::JobCancelled {
+            job: 1,
+            reason: "deadline-exceeded",
+        });
+        t.record_with(SimTime::from_micros(3), || TraceEvent::RequestShed {
+            client: 4,
+            model: 0,
+        });
+        t.record_with(SimTime::from_micros(4), || TraceEvent::NodeCrash {
+            node: 2,
+        });
+        t.record_with(SimTime::from_micros(5), || TraceEvent::NodeRecover {
+            node: 2,
+        });
+        let json = chrome_trace_json(&t.take());
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains(r#""name":"faults""#), "faults thread named");
+        assert!(json.contains("fault #7 (job 1)"));
+        assert!(json.contains("cancel job 1"));
+        assert!(json.contains("shed client 4"));
+        assert!(json.contains("crash node 2"));
+        assert!(json.contains("recover node 2"));
+        // A fault-free log must not declare the track.
+        let plain = chrome_trace_json(&sample_log());
+        assert!(!plain.contains(r#""name":"faults""#));
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The robustness experiment: the cluster smoke workload under a seeded
+//! [`FaultPlan`] — kernel faults, node crashes, recoveries — reduced to the
+//! metrics that matter when things break: goodput and tail latency of the
+//! requests that *succeeded*, and the fraction of admitted requests that
+//! completed within their deadline.
+//!
+//! Everything is deterministic: the fault plan expands from a seed before
+//! the run starts, kernel faults roll on each dispatcher's own seeded RNG in
+//! DES order, and the cluster advances in lockstep on virtual time — so one
+//! `(spec, seed)` pair names one exact execution, failures included.
+
+use paella_cluster::{Cluster, ClusterConfig, RoutingPolicy};
+use paella_compiler::CompiledModel;
+use paella_core::dispatcher::DispatcherConfig;
+use paella_core::types::FailureReason;
+use paella_core::{ModelId, ServingSystem};
+use paella_gpu::DeviceConfig;
+use paella_models::measure_uncontended;
+use paella_sim::{FaultSpec, SimDuration};
+
+use crate::gen::{generate, Mix, WorkloadSpec};
+use crate::runner::run_trace;
+
+/// One fault experiment point: the cluster workload knobs plus the failure
+/// model in force (deadlines, shedding, the injected fault scenario).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultExpSpec {
+    /// Nodes in the fleet.
+    pub nodes: usize,
+    /// Routing policy under test.
+    pub policy: RoutingPolicy,
+    /// Offered load, requests per second across the whole cluster.
+    pub rate_per_sec: f64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// Completions excluded from goodput/latency while the system warms up.
+    pub warmup: usize,
+    /// Zipf exponent of the popularity skew.
+    pub skew: f64,
+    /// A completion is "good" if its JCT is within `slo_factor` × the
+    /// model's uncontended execution time.
+    pub slo_factor: f64,
+    /// Per-request deadline as a multiple of the model's profiled estimate
+    /// (requests past it are cancelled and their resources reclaimed).
+    pub deadline_factor: f64,
+    /// Per-node admission watermark; arrivals at a node whose outstanding
+    /// load is at or above it are shed.
+    pub shed_watermark: u64,
+    /// How many times the frontend re-routes a request lost to a crash.
+    pub crash_retries: u32,
+    /// Seed for the cluster, the trace, and the fault plan.
+    pub seed: u64,
+    /// The fault scenario, expanded under `seed` into a concrete plan.
+    pub faults: FaultSpec,
+}
+
+impl FaultExpSpec {
+    /// The committed deterministic fault scenario: the 4-node cluster smoke
+    /// workload with kernel faults *and* a mid-run node crash (with
+    /// recovery) injected. Small enough for CI; faulty enough that the
+    /// failure paths all execute.
+    pub fn smoke(policy: RoutingPolicy) -> Self {
+        FaultExpSpec {
+            nodes: 4,
+            policy,
+            rate_per_sec: 5_200.0,
+            requests: 700,
+            warmup: 100,
+            skew: 1.1,
+            slo_factor: 8.0,
+            deadline_factor: 40.0,
+            shed_watermark: 96,
+            crash_retries: 3,
+            seed: 0xFA_175,
+            faults: FaultSpec {
+                kernel_fault_rate: 0.02,
+                node_crashes: 1,
+                nodes: 4,
+                window_start: paella_sim::SimTime::from_millis(20),
+                window_end: paella_sim::SimTime::from_millis(60),
+                recovery_after: Some(SimDuration::from_millis(25)),
+                client_disconnects: 0,
+                clients: 8,
+            },
+        }
+    }
+}
+
+/// Reduced metrics from one fault experiment point. Failures are broken out
+/// by kind so the headline ratio — admitted requests that finished within
+/// deadline — is computable without the raw completion lists.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultExpResult {
+    /// Offered load, req/s.
+    pub offered: f64,
+    /// SLO-attaining successful completions per second (post-warmup).
+    pub goodput: f64,
+    /// p99 JCT over post-warmup *successful* requests, µs.
+    pub p99_us: f64,
+    /// Mean JCT over post-warmup successful requests, µs.
+    pub mean_us: f64,
+    /// Successful completions (all of them, including warmup).
+    pub completed: usize,
+    /// Requests refused by admission control.
+    pub shed: usize,
+    /// Requests that failed for any other reason (deadline, crash budget,
+    /// retry budget, disconnect).
+    pub failed: usize,
+    /// `completed / (submitted - shed)`: of the requests the cluster
+    /// admitted, the fraction it finished within deadline.
+    pub within_deadline: f64,
+}
+
+impl FaultExpResult {
+    /// One stable CSV row:
+    /// `goodput,p99_us,mean_us,completed,shed,failed,within_deadline`.
+    /// Fixed precision so identical runs print identical bytes.
+    pub fn row(&self) -> String {
+        format!(
+            "{:.1},{:.1},{:.1},{},{},{},{:.4}",
+            self.goodput,
+            self.p99_us,
+            self.mean_us,
+            self.completed,
+            self.shed,
+            self.failed,
+            self.within_deadline
+        )
+    }
+}
+
+/// Runs one fault experiment point: builds a fresh cluster with the spec's
+/// failure-handling knobs, arms the expanded fault plan, drives the skewed
+/// trace, and reduces successes and failures separately.
+pub fn run_fault_point(models: &[CompiledModel], spec: &FaultExpSpec) -> FaultExpResult {
+    let device = DeviceConfig::tesla_t4();
+    let mut cluster = Cluster::new(
+        device.clone(),
+        spec.nodes,
+        ClusterConfig {
+            seed: spec.seed,
+            crash_retries: spec.crash_retries,
+            dispatcher: DispatcherConfig {
+                deadline_factor: Some(spec.deadline_factor),
+                shed_watermark: Some(spec.shed_watermark),
+                ..DispatcherConfig::paella()
+            },
+            ..ClusterConfig::with_policy(spec.policy)
+        },
+    );
+    let ids: Vec<ModelId> = models.iter().map(|m| cluster.register_model(m)).collect();
+    let slo: Vec<SimDuration> = models
+        .iter()
+        .map(|m| measure_uncontended(m, &device).mul_f64(spec.slo_factor))
+        .collect();
+    cluster.inject(&spec.faults.generate(spec.seed));
+    let mix = Mix::zipf(&ids, spec.skew);
+    let arrivals = generate(
+        &WorkloadSpec {
+            rate_per_sec: spec.rate_per_sec,
+            sigma: 1.5,
+            requests: spec.requests,
+            clients: 8,
+            seed: spec.seed ^ 0x7ACE,
+        },
+        &mix,
+    );
+    let mut stats = run_trace(&mut cluster, &arrivals, spec.warmup);
+    let failures = cluster.drain_failures();
+    let shed = failures
+        .iter()
+        .filter(|f| f.reason == FailureReason::Shed)
+        .count();
+    let failed = failures.len() - shed;
+
+    let good = stats
+        .completions
+        .iter()
+        .skip(spec.warmup)
+        .filter(|c| c.jct() <= slo[c.request.model.0 as usize])
+        .count();
+    let span_s = stats.span.as_secs_f64();
+    let goodput = if span_s > 0.0 {
+        good as f64 / span_s
+    } else {
+        0.0
+    };
+    let admitted = arrivals.len() - shed;
+    let within_deadline = if admitted > 0 {
+        stats.completions.len() as f64 / admitted as f64
+    } else {
+        1.0
+    };
+    FaultExpResult {
+        offered: spec.rate_per_sec,
+        goodput,
+        p99_us: stats.p99_us(),
+        mean_us: stats.mean_us(),
+        completed: stats.completions.len(),
+        shed,
+        failed,
+        within_deadline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::smoke_models;
+
+    #[test]
+    fn smoke_point_accounts_for_every_request() {
+        let spec = FaultExpSpec {
+            requests: 200,
+            warmup: 40,
+            ..FaultExpSpec::smoke(RoutingPolicy::LeastRemainingWork)
+        };
+        let r = run_fault_point(&smoke_models(), &spec);
+        assert_eq!(
+            r.completed + r.shed + r.failed,
+            200,
+            "success + shed + failed must cover the trace"
+        );
+        assert!(r.completed > 0 && r.goodput > 0.0);
+        assert!(r.within_deadline > 0.5, "got {}", r.within_deadline);
+    }
+
+    #[test]
+    fn committed_scenario_holds_its_deadline_bar() {
+        // The acceptance bar for the committed fault scenario: with kernel
+        // faults and a node crash injected, at least 95% of the admitted
+        // (non-shed) requests still complete within deadline.
+        let r = run_fault_point(
+            &smoke_models(),
+            &FaultExpSpec::smoke(RoutingPolicy::LeastRemainingWork),
+        );
+        assert!(
+            r.within_deadline >= 0.95,
+            "within-deadline fraction {} under the committed fault scenario",
+            r.within_deadline
+        );
+    }
+
+    #[test]
+    fn fault_point_is_deterministic() {
+        let spec = FaultExpSpec {
+            requests: 150,
+            warmup: 30,
+            ..FaultExpSpec::smoke(RoutingPolicy::Jsq)
+        };
+        let a = run_fault_point(&smoke_models(), &spec);
+        let b = run_fault_point(&smoke_models(), &spec);
+        assert_eq!(a.row(), b.row(), "same spec must reduce to identical rows");
+    }
+
+    #[test]
+    fn harder_faults_hurt() {
+        let base = FaultExpSpec {
+            requests: 200,
+            warmup: 40,
+            ..FaultExpSpec::smoke(RoutingPolicy::LeastRemainingWork)
+        };
+        let calm = run_fault_point(
+            &smoke_models(),
+            &FaultExpSpec {
+                faults: FaultSpec {
+                    kernel_fault_rate: 0.0,
+                    node_crashes: 0,
+                    ..base.faults
+                },
+                ..base
+            },
+        );
+        let stormy = run_fault_point(
+            &smoke_models(),
+            &FaultExpSpec {
+                faults: FaultSpec {
+                    kernel_fault_rate: 0.3,
+                    node_crashes: 3,
+                    recovery_after: None,
+                    ..base.faults
+                },
+                ..base
+            },
+        );
+        assert!(
+            stormy.completed < calm.completed || stormy.p99_us > calm.p99_us,
+            "a fault storm must cost something: calm {:?} vs stormy {:?}",
+            calm,
+            stormy
+        );
+    }
+}

@@ -15,15 +15,20 @@
 //! * [`systems`] — a registry constructing every Table 3 system by key.
 //! * [`cluster`] — the multi-node experiment: skewed-popularity mixes over a
 //!   [`paella_cluster::Cluster`], per-policy goodput and tail latency.
+//! * [`faults`] — the robustness experiment: the cluster workload under a
+//!   seeded fault plan, reduced to goodput, successful-request p99, and the
+//!   within-deadline fraction.
 
 pub mod breakdown;
 pub mod cluster;
+pub mod faults;
 pub mod gen;
 pub mod runner;
 pub mod systems;
 
 pub use breakdown::{average_breakdown, client_utilization, BreakdownUs};
 pub use cluster::{run_cluster_point, smoke_models, ClusterExpResult, ClusterExpSpec};
+pub use faults::{run_fault_point, FaultExpResult, FaultExpSpec};
 pub use gen::{generate, Arrival, Mix, WorkloadSpec};
 pub use runner::{load_sweep, run_trace, RunStats, SweepPoint};
 pub use systems::{make_system, SystemKey};
