@@ -99,8 +99,31 @@ impl ServingSystem for DirectCuda {
         self.inner.drain_completions()
     }
 
+    fn drain_failures(&mut self) -> Vec<paella_core::JobFailure> {
+        ServingSystem::drain_failures(&mut self.inner)
+    }
+
     fn name(&self) -> String {
         self.mode.key().to_string()
+    }
+
+    // The baseline wraps a job-granularity dispatcher, so the journey and
+    // metrics plumbing comes for free — forward it. The hardware queues make
+    // the scheduling decisions either way.
+    fn enable_telemetry(&mut self) {
+        ServingSystem::enable_telemetry(&mut self.inner)
+    }
+
+    fn take_trace_log(&mut self) -> Option<paella_telemetry::TraceLog> {
+        ServingSystem::take_trace_log(&mut self.inner)
+    }
+
+    fn metrics_snapshot(&self) -> Option<paella_telemetry::MetricsSnapshot> {
+        ServingSystem::metrics_snapshot(&self.inner)
+    }
+
+    fn take_postmortems(&mut self) -> Vec<String> {
+        ServingSystem::take_postmortems(&mut self.inner)
     }
 }
 

@@ -69,3 +69,15 @@ fn fig_cluster_smoke_stdout_is_thread_count_invariant() {
 fn fig_faults_smoke_stdout_is_thread_count_invariant() {
     assert_deterministic(env!("CARGO_BIN_EXE_fig_faults"), &["--smoke"]);
 }
+
+#[test]
+fn fig_latency_blame_smoke_stdout_is_thread_count_invariant() {
+    assert_deterministic(env!("CARGO_BIN_EXE_fig_latency_blame"), &["--smoke"]);
+}
+
+#[test]
+fn flight_dump_stdout_is_thread_count_invariant() {
+    // The dump contents themselves (not just the summary line) must be
+    // byte-identical: the flight ring is populated on virtual time only.
+    assert_deterministic(env!("CARGO_BIN_EXE_flight_dump"), &[]);
+}

@@ -36,4 +36,4 @@ pub use atomic::AtomicCell;
 pub use lint::{lint_source, Violation};
 pub use mc::{Checker, Config, Report};
 pub use models::{clean_models, mutants, ModelCheck, Mutant};
-pub use oracle::{ConservationOracle, StreamOracle};
+pub use oracle::{check_journeys, ConservationOracle, StreamOracle};

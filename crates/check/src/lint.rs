@@ -388,6 +388,147 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
+/// Extracts the variant names of `pub enum TraceEvent` from a tokenized
+/// source, with the 0-based line each was declared on.
+fn trace_event_variants(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut in_enum = false;
+    let mut opened = false;
+    for (i, l) in lines.iter().enumerate() {
+        if !in_enum {
+            if l.code.contains("enum TraceEvent") {
+                in_enum = true;
+                depth = 0;
+            } else {
+                continue;
+            }
+        }
+        // A variant declaration starts at depth 1 (its own braces, if any,
+        // open *after* the name) — so test the depth entering the line.
+        if opened && depth == 1 {
+            let t = l.code.trim();
+            if t.starts_with(|c: char| c.is_ascii_uppercase()) {
+                let name: String = t
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                out.push((i, name));
+            }
+        }
+        for ch in l.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// The code lines of the first `fn {name}` body in a tokenized source
+/// (0-based start line, concatenated per-line code), by brace counting.
+fn fn_body(lines: &[Line], name: &str) -> Option<(usize, Vec<String>)> {
+    let opener = format!("fn {name}(");
+    let start = lines.iter().position(|l| l.code.contains(&opener))?;
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut body = Vec::new();
+    for l in &lines[start..] {
+        for ch in l.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        body.push(l.code.clone());
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    Some((start, body))
+}
+
+/// **R5 `trace-event-exhaustiveness`** — every `TraceEvent` variant must be
+/// handled explicitly on both consumption paths: the `kind()` hot match
+/// (which `text_summary` and the flight recorder ride on) and the Chrome
+/// exporter. A `_ =>` wildcard inside `kind()` is rejected outright — it
+/// would silently swallow the next variant someone adds, which is exactly
+/// how observability gaps are born.
+pub fn trace_event_exhaustiveness(event_src: &str, export_src: &str) -> Vec<Violation> {
+    const EVENT_FILE: &str = "crates/telemetry/src/event.rs";
+    const EXPORT_FILE: &str = "crates/telemetry/src/export.rs";
+    let event_lines = tokenize(event_src);
+    let export_lines = tokenize(export_src);
+    let variants = trace_event_variants(&event_lines);
+    let mut out = Vec::new();
+    if variants.is_empty() {
+        out.push(Violation {
+            file: EVENT_FILE.into(),
+            line: 1,
+            rule: "trace-event-exhaustiveness",
+            message: "no `enum TraceEvent` variants found (parser out of sync?)".into(),
+        });
+        return out;
+    }
+    let Some((kind_line, kind_body)) = fn_body(&event_lines, "kind") else {
+        out.push(Violation {
+            file: EVENT_FILE.into(),
+            line: 1,
+            rule: "trace-event-exhaustiveness",
+            message: "no `fn kind` hot match found".into(),
+        });
+        return out;
+    };
+    for (off, l) in kind_body.iter().enumerate() {
+        if l.trim_start().starts_with("_ =>") {
+            out.push(Violation {
+                file: EVENT_FILE.into(),
+                line: kind_line + off + 1,
+                rule: "trace-event-exhaustiveness",
+                message: "wildcard `_ =>` in the kind() hot match swallows new variants".into(),
+            });
+        }
+    }
+    let kind_code = kind_body.join("\n");
+    let export_code: String = export_lines
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (line, v) in &variants {
+        let pat = format!("TraceEvent::{v}");
+        if !kind_code.contains(&pat) {
+            out.push(Violation {
+                file: EVENT_FILE.into(),
+                line: line + 1,
+                rule: "trace-event-exhaustiveness",
+                message: format!("variant {v} has no arm in the kind() hot match"),
+            });
+        }
+        if !export_code.contains(&pat) {
+            out.push(Violation {
+                file: EXPORT_FILE.into(),
+                line: line + 1,
+                rule: "trace-event-exhaustiveness",
+                message: format!("variant {v} is not handled by the Chrome exporter"),
+            });
+        }
+    }
+    out
+}
+
 /// Recursively collects `.rs` files under `dir`.
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
@@ -425,6 +566,15 @@ pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
             .collect::<Vec<_>>()
             .join("/");
         out.extend(lint_source(&rel, &fs::read_to_string(&f)?));
+    }
+    // R5 needs two files side by side, so it runs outside the per-file loop.
+    let event_p = root.join("crates/telemetry/src/event.rs");
+    let export_p = root.join("crates/telemetry/src/export.rs");
+    if event_p.is_file() && export_p.is_file() {
+        out.extend(trace_event_exhaustiveness(
+            &fs::read_to_string(&event_p)?,
+            &fs::read_to_string(&export_p)?,
+        ));
     }
     Ok(out)
 }
@@ -569,6 +719,62 @@ mod tests {
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::sleep(d); }\n}\n";
         assert!(lint_source("crates/channels/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn trace_event_lint_clean_on_real_sources() {
+        let event_src = include_str!("../../telemetry/src/event.rs");
+        let export_src = include_str!("../../telemetry/src/export.rs");
+        let v = trace_event_exhaustiveness(event_src, export_src);
+        assert!(
+            v.is_empty(),
+            "real sources flagged:\n{}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn trace_event_lint_catches_unhandled_variant_mutant() {
+        // Self-test with teeth: graft a new variant into the *real* enum
+        // without touching kind() or the exporter — the lint must flag both
+        // consumption paths.
+        let event_src = include_str!("../../telemetry/src/event.rs");
+        let export_src = include_str!("../../telemetry/src/export.rs");
+        let anchor = "}\n\nimpl TraceEvent {";
+        assert!(event_src.contains(anchor), "event.rs layout changed");
+        let mutated = event_src.replace(
+            anchor,
+            "    PhantomProbe {\n        x: u64,\n    },\n}\n\nimpl TraceEvent {",
+        );
+        let v = trace_event_exhaustiveness(&mutated, export_src);
+        assert_eq!(v.len(), 2, "kind() + exporter both missing: {v:?}");
+        assert!(v.iter().all(|x| x.message.contains("PhantomProbe")));
+        assert!(v.iter().any(|x| x.message.contains("kind()")));
+        assert!(v.iter().any(|x| x.message.contains("Chrome exporter")));
+    }
+
+    #[test]
+    fn trace_event_lint_catches_wildcard_mutant() {
+        // Replacing the last kind() arm with a wildcard must be flagged
+        // twice: the swallow itself, and the variant it orphans.
+        let event_src = include_str!("../../telemetry/src/event.rs");
+        let export_src = include_str!("../../telemetry/src/export.rs");
+        let arm = "TraceEvent::CounterSample { .. } => \"counter-sample\",";
+        assert!(event_src.contains(arm), "kind() layout changed");
+        let mutated = event_src.replace(arm, "_ => \"counter-sample\",");
+        let v = trace_event_exhaustiveness(&mutated, export_src);
+        assert!(
+            v.iter().any(|x| x.message.contains("wildcard")),
+            "wildcard not flagged: {v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| x.message.contains("CounterSample") && x.message.contains("kind()")),
+            "orphaned variant not flagged: {v:?}"
+        );
     }
 
     #[test]

@@ -465,6 +465,102 @@ impl ConservationOracle {
     }
 }
 
+/// The journey-conservation oracle (DESIGN §12): re-checks, from the raw
+/// trace, that every [`JobJourney`] event is internally exact and consistent
+/// with its job's [`JobEnd`] — the naive transcription of the phase
+/// decomposition's contract, with no tolerance:
+///
+/// * the eight journey phases sum *exactly* to the journey's JCT;
+/// * a `JobEnd` exists for the same job, with identical JCT and identical
+///   first-level phases (client, communication, framework, device);
+/// * the four queue sub-phases sum exactly to `JobEnd`'s
+///   `queuing_scheduling_ns` — the second-level split conserves the first;
+/// * every ended job has exactly one journey, and vice versa.
+///
+/// Returns the number of journeys checked.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+///
+/// [`JobJourney`]: paella_telemetry::TraceEvent::JobJourney
+/// [`JobEnd`]: paella_telemetry::TraceEvent::JobEnd
+pub fn check_journeys(log: &paella_telemetry::TraceLog) -> Result<usize, String> {
+    use paella_telemetry::TraceEvent;
+    // (jct, client_send_recv, communication, queuing, framework, device)
+    let mut ends: HashMap<u64, (u64, u64, u64, u64, u64, u64)> = HashMap::new();
+    for e in &log.events {
+        if let TraceEvent::JobEnd {
+            job,
+            jct_ns,
+            client_send_recv_ns,
+            communication_ns,
+            queuing_scheduling_ns,
+            framework_ns,
+            device_ns,
+            ..
+        } = e.event
+        {
+            let prev = ends.insert(
+                job,
+                (
+                    jct_ns,
+                    client_send_recv_ns,
+                    communication_ns,
+                    queuing_scheduling_ns,
+                    framework_ns,
+                    device_ns,
+                ),
+            );
+            if prev.is_some() {
+                return Err(format!("job {job}: duplicate JobEnd"));
+            }
+        }
+    }
+    let mut checked = 0usize;
+    for j in paella_telemetry::extract_journeys(log) {
+        let b = j.breakdown;
+        b.check_conservation()
+            .map_err(|e| format!("job {}: {e}", j.job))?;
+        let Some(&(jct, csr, comm, queuing, fw, dev)) = ends.get(&j.job) else {
+            return Err(format!("job {}: journey without a JobEnd", j.job));
+        };
+        ends.remove(&j.job);
+        if b.jct_ns != jct {
+            return Err(format!(
+                "job {}: journey jct {} != JobEnd {jct}",
+                j.job, b.jct_ns
+            ));
+        }
+        let first_level = [
+            ("client_send_recv", b.client_send_recv_ns, csr),
+            ("communication", b.communication_ns, comm),
+            ("framework", b.framework_ns, fw),
+            ("device", b.device_ns, dev),
+        ];
+        for (name, got, want) in first_level {
+            if got != want {
+                return Err(format!(
+                    "job {}: journey {name} {got} != JobEnd {want}",
+                    j.job
+                ));
+            }
+        }
+        let queue_sum = b.retry_backoff_ns + b.queue_dep_ns + b.queue_occupancy_ns + b.queue_hol_ns;
+        if queue_sum != queuing {
+            return Err(format!(
+                "job {}: queue sub-phases sum {queue_sum} != JobEnd queuing {queuing}",
+                j.job
+            ));
+        }
+        checked += 1;
+    }
+    if let Some(&job) = ends.keys().min() {
+        return Err(format!("job {job}: JobEnd without a journey"));
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +655,78 @@ mod tests {
         o.on_kernel_completed(1);
         o.verify(&t).unwrap();
         assert_eq!(o.resident(), 0);
+    }
+
+    fn journey_log(queue_split: [u64; 4]) -> paella_telemetry::TraceLog {
+        use paella_sim::SimTime;
+        use paella_telemetry::{TraceEvent, TracedEvent};
+        let queuing: u64 = queue_split.iter().sum();
+        paella_telemetry::TraceLog {
+            events: vec![
+                TracedEvent {
+                    at: SimTime::from_micros(5),
+                    seq: 0,
+                    event: TraceEvent::JobEnd {
+                        job: 1,
+                        client: 0,
+                        jct_ns: 1_000 + queuing,
+                        client_send_recv_ns: 100,
+                        communication_ns: 200,
+                        queuing_scheduling_ns: queuing,
+                        framework_ns: 300,
+                        device_ns: 400,
+                    },
+                },
+                TracedEvent {
+                    at: SimTime::from_micros(5),
+                    seq: 1,
+                    event: TraceEvent::JobJourney {
+                        job: 1,
+                        client: 0,
+                        jct_ns: 1_000 + queuing,
+                        client_send_recv_ns: 100,
+                        communication_ns: 200,
+                        framework_ns: 300,
+                        device_ns: 400,
+                        retry_backoff_ns: queue_split[0],
+                        queue_dep_ns: queue_split[1],
+                        queue_occupancy_ns: queue_split[2],
+                        queue_hol_ns: queue_split[3],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn journey_oracle_accepts_exact_and_rejects_slack() {
+        let good = journey_log([10, 20, 30, 40]);
+        assert_eq!(check_journeys(&good), Ok(1));
+
+        // Inflate one queue sub-phase: conservation breaks with no slack
+        // allowed, and the error names the delta.
+        let mut bad = journey_log([10, 20, 30, 40]);
+        if let paella_telemetry::TraceEvent::JobJourney { queue_hol_ns, .. } =
+            &mut bad.events[1].event
+        {
+            *queue_hol_ns += 1;
+        }
+        let err = check_journeys(&bad).unwrap_err();
+        assert!(err.contains("delta"), "{err}");
+
+        // A journey without its JobEnd is an orphan.
+        let mut orphan = journey_log([0, 0, 0, 0]);
+        orphan.events.remove(0);
+        assert!(check_journeys(&orphan)
+            .unwrap_err()
+            .contains("without a JobEnd"));
+
+        // And a JobEnd without its journey is a hole in coverage.
+        let mut hole = journey_log([0, 0, 0, 0]);
+        hole.events.remove(1);
+        assert!(check_journeys(&hole)
+            .unwrap_err()
+            .contains("without a journey"));
     }
 
     #[test]

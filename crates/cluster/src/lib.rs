@@ -195,6 +195,9 @@ pub struct Cluster {
     reroutes: HashMap<(u32, u32, u64), u32>,
     tracer: Tracer,
     metrics: Option<Box<MetricsRegistry>>,
+    /// Router-tier flight-recorder dumps (replica loss), awaiting
+    /// [`ServingSystem::take_postmortems`].
+    postmortems: Vec<String>,
     scale_ups: u64,
     scale_downs: u64,
 }
@@ -235,6 +238,7 @@ impl Cluster {
             reroutes: HashMap::new(),
             tracer: Tracer::disabled(),
             metrics: None,
+            postmortems: Vec::new(),
             scale_ups: 0,
             scale_downs: 0,
         }
@@ -404,12 +408,45 @@ impl Cluster {
             .remove(&(req.client.0, req.model.0, req.submitted_at.as_nanos()));
         if let Some(m) = self.metrics.as_mut() {
             m.inc("requests_failed", 1);
+            m.slo_fail(req.client.0, reason.as_str());
+        }
+        // Losing a request to a crash with no surviving replica (or a spent
+        // crash budget) is the cluster's terminal failure: snapshot the
+        // router tier's flight ring into a post-mortem dump (DESIGN §12).
+        if reason == FailureReason::NodeCrash {
+            self.record_postmortem("replica-loss", at);
         }
         self.failures.push(JobFailure {
             request: req,
             reason,
             at,
         });
+    }
+
+    /// Renders the router tier's flight-recorder ring plus fixed-order
+    /// cluster state into a deterministic post-mortem dump.
+    fn record_postmortem(&mut self, trigger: &str, at: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let online = self
+            .nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Online)
+            .count() as u64;
+        let crashed = self.nodes.iter().filter(|n| n.crashed).count() as u64;
+        let outstanding: u64 = self.nodes.iter().map(|n| n.outstanding).sum();
+        let state = [
+            ("frontend_queued", self.frontend.len() as u64),
+            ("nodes_online", online),
+            ("nodes_crashed", crashed),
+            ("outstanding", outstanding),
+            ("failures", self.failures.len() as u64),
+        ];
+        let events = self.tracer.flight_snapshot();
+        self.postmortems.push(paella_telemetry::flight::render(
+            trigger, at, &state, &events,
+        ));
     }
 
     /// A request lost to a node crash: re-enter routing if its per-request
@@ -423,6 +460,12 @@ impl Cluster {
             return;
         }
         self.reroutes.insert(key, used + 1);
+        let (client, model, attempt) = (req.client.0, req.model.0, used + 1);
+        self.tracer.record_with(at, || TraceEvent::FailoverHop {
+            client,
+            model,
+            attempt,
+        });
         if let Some(m) = self.metrics.as_mut() {
             m.inc("requests_rerouted", 1);
         }
@@ -944,6 +987,7 @@ impl ServingSystem for Cluster {
     /// node's dispatcher.
     fn enable_telemetry(&mut self) {
         self.tracer = Tracer::enabled();
+        self.tracer.set_flight_capacity(64);
         self.metrics = Some(Box::new(MetricsRegistry::new()));
         for n in &mut self.nodes {
             n.dispatcher.enable_telemetry();
@@ -965,6 +1009,15 @@ impl ServingSystem for Cluster {
     /// The cluster-level registry (routing counters, per-node depth series).
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         self.metrics.as_ref().map(|m| m.snapshot())
+    }
+
+    /// Router-tier dumps first, then each node's, in node order.
+    fn take_postmortems(&mut self) -> Vec<String> {
+        let mut out = std::mem::take(&mut self.postmortems);
+        for n in &mut self.nodes {
+            out.extend(n.dispatcher.take_postmortems());
+        }
+        out
     }
 
     /// Aggregate over all nodes plus requests still inside the router tier.
@@ -1219,6 +1272,29 @@ mod tests {
         let snap = c.metrics_snapshot().expect("metrics enabled");
         assert_eq!(snap.counter("requests_failed"), failed.len() as u64);
         assert_eq!(snap.counter("accounting_underflow"), 0);
+        // Per-tenant SLO ledger: every lost request is booked against its
+        // tenant under the node-crash reason.
+        let crash_fails: u64 = snap
+            .tenant_slo
+            .iter()
+            .flat_map(|(_, s)| s.failures.iter())
+            .filter(|(r, _)| r == FailureReason::NodeCrash.as_str())
+            .map(|&(_, n)| n)
+            .sum();
+        assert_eq!(crash_fails, failed.len() as u64);
+        // Each terminal loss snapshots the router's flight ring into a
+        // parseable post-mortem dump.
+        let dumps = ServingSystem::take_postmortems(&mut c);
+        assert_eq!(dumps.len(), failed.len());
+        for d in &dumps {
+            paella_telemetry::flight::validate_dump(d).expect("dump parses");
+            assert!(d.contains("trigger: replica-loss"), "{d}");
+            assert!(d.contains("event:"), "ring must hold recent events: {d}");
+        }
+        assert!(
+            ServingSystem::take_postmortems(&mut c).is_empty(),
+            "dumps drain on take"
+        );
     }
 
     #[test]

@@ -285,6 +285,20 @@ struct Job {
     framework: SimDuration,
     /// Tokens already released in the waitlist.
     released_bits: std::collections::HashSet<u64>,
+    /// Deadline instant, when a deadline factor is configured (SLO ledger).
+    deadline_at: Option<SimTime>,
+    /// -- journey accumulators (DESIGN §12): raw per-cause wait time, -----
+    /// -- clamped into the queuing remainder at completion ----------------
+    /// Nanoseconds parked in retry backoff after injected kernel faults.
+    backoff_ns: u64,
+    /// When the job's frontier became dependency-blocked (open interval).
+    dep_since: Option<SimTime>,
+    /// Accumulated dependency-blocked nanoseconds.
+    dep_wait_ns: u64,
+    /// When the job was first held by flow control (open interval).
+    occ_since: Option<SimTime>,
+    /// Accumulated flow-control hold nanoseconds.
+    occ_wait_ns: u64,
 }
 
 impl Job {
@@ -404,7 +418,14 @@ pub struct Dispatcher {
     next_sample: SimTime,
     /// `(core, start)` of the most recent CPU charge (telemetry span data).
     last_charge: (u32, SimTime),
+    /// Rendered flight-recorder dumps from terminal failures, awaiting
+    /// [`take_postmortems`](Self::take_postmortems).
+    postmortems: Vec<String>,
 }
+
+/// Flight-recorder ring depth: the last N traced events kept for post-mortem
+/// dumps on terminal failures.
+const FLIGHT_CAPACITY: usize = 64;
 
 /// Virtual-time spacing of periodic metric samples.
 const SAMPLE_INTERVAL: SimDuration = SimDuration::from_micros(50);
@@ -461,6 +482,7 @@ impl Dispatcher {
             metrics: None,
             next_sample: SimTime::ZERO,
             last_charge: (0, SimTime::ZERO),
+            postmortems: Vec::new(),
         }
     }
 
@@ -469,8 +491,34 @@ impl Dispatcher {
     /// until called — the default sinks are no-ops.
     pub fn enable_telemetry(&mut self) {
         self.tracer = Tracer::enabled();
+        self.tracer.set_flight_capacity(FLIGHT_CAPACITY);
         self.gpu.set_tracer(Tracer::enabled());
         self.metrics = Some(Box::new(MetricsRegistry::new()));
+    }
+
+    /// Takes the flight-recorder dumps rendered on terminal failures so far
+    /// (empty unless telemetry is enabled and a terminal failure occurred).
+    pub fn take_postmortems(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.postmortems)
+    }
+
+    /// Renders the flight-recorder ring plus a fixed-order snapshot of
+    /// queue/occupancy state into a deterministic post-mortem dump.
+    fn record_postmortem(&mut self, trigger: &str, at: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let state = [
+            ("jobs_inflight", self.jobs.len() as u64),
+            ("queued_ingest", self.queued_ingest),
+            ("notifq_outstanding", self.notifq_outstanding),
+            ("stream_waiters", self.stream_waiters.len() as u64),
+            ("free_streams", self.free_streams.len() as u64),
+        ];
+        let events = self.tracer.flight_snapshot();
+        self.postmortems.push(paella_telemetry::flight::render(
+            trigger, at, &state, &events,
+        ));
     }
 
     /// Whether telemetry is currently recording.
@@ -694,6 +742,7 @@ impl Dispatcher {
                     });
                 if let Some(m) = self.metrics.as_mut() {
                     m.inc("requests_shed", 1);
+                    m.slo_fail(req.client.0, FailureReason::Shed.as_str());
                 }
                 self.failures.push(JobFailure {
                     request: req,
@@ -877,6 +926,9 @@ impl Dispatcher {
         // A request queued on the ring when its client disconnected fails
         // here, without ever becoming a job.
         if self.disconnected.contains(&req.client) {
+            if let Some(m) = self.metrics.as_mut() {
+                m.slo_fail(req.client.0, FailureReason::Disconnected.as_str());
+            }
             self.failures.push(JobFailure {
                 request: req,
                 reason: FailureReason::Disconnected,
@@ -981,6 +1033,12 @@ impl Dispatcher {
             last_dispatched: false,
             framework: self.cfg.ingest_cost,
             released_bits: std::collections::HashSet::new(),
+            deadline_at: None,
+            backoff_ns: 0,
+            dep_since: None,
+            dep_wait_ns: 0,
+            occ_since: None,
+            occ_wait_ns: 0,
         };
         self.jobs.insert(id, job);
         self.load_add_job(model_idx);
@@ -988,6 +1046,9 @@ impl Dispatcher {
         if let Some(f) = self.cfg.deadline_factor {
             let budget = total_estimate.mul_f64(f).max(self.cfg.deadline_floor);
             let deadline = req.submitted_at.saturating_add(budget);
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.deadline_at = Some(deadline);
+            }
             self.events
                 .schedule_at(deadline.max(self.events.now()), Ev::Deadline(id));
         }
@@ -1079,6 +1140,13 @@ impl Dispatcher {
 
     /// Dispatches one op to the device, charging host costs.
     fn dispatch_op(&mut self, id: JobId, token: u64, ready: SimTime, whole_job: bool) {
+        // Close any open flow-control hold interval: the op is leaving now,
+        // so everything since the first hold was occupancy wait.
+        if let Some(j) = self.jobs.get_mut(&id) {
+            if let Some(s) = j.occ_since.take() {
+                j.occ_wait_ns += ready.saturating_since(s).as_nanos();
+            }
+        }
         let (kind, stream, client) = {
             let j = &self.jobs[&id];
             assert!(j.has_streams(), "dispatch without streams");
@@ -1242,6 +1310,7 @@ impl Dispatcher {
                         job: job.0,
                         reason: HoldReason::StreamPool,
                     });
+                self.mark_occ_hold(job);
                 self.scheduler.job_blocked(job);
                 continue;
             }
@@ -1266,6 +1335,7 @@ impl Dispatcher {
                     if let Some(m) = self.metrics.as_mut() {
                         m.inc("occupancy_holds", 1);
                     }
+                    self.mark_occ_hold(job);
                     break;
                 }
                 // notifQ flow control: never reserve past the ring capacity.
@@ -1280,6 +1350,7 @@ impl Dispatcher {
                     if let Some(m) = self.metrics.as_mut() {
                         m.inc("notifq_holds", 1);
                     }
+                    self.mark_occ_hold(job);
                     break;
                 }
             }
@@ -1307,9 +1378,10 @@ impl Dispatcher {
         }
     }
 
-    /// Syncs a job's readiness with the scheduler.
+    /// Syncs a job's readiness with the scheduler, closing/opening the
+    /// dependency-wait interval on the transition.
     fn update_readiness(&mut self, id: JobId) {
-        let Some(j) = self.jobs.get(&id) else {
+        let Some(j) = self.jobs.get_mut(&id) else {
             self.scheduler.job_blocked(id);
             return;
         };
@@ -1319,6 +1391,9 @@ impl Dispatcher {
                 Some(OpKind::Kernel(_))
             );
         if ready {
+            if let Some(s) = j.dep_since.take() {
+                j.dep_wait_ns += self.now.saturating_since(s).as_nanos();
+            }
             let remaining = {
                 let m = &self.models[j.request.model.0 as usize];
                 m.profile.remaining(&j.done_counts)
@@ -1331,7 +1406,28 @@ impl Dispatcher {
                 remaining_estimate: remaining,
             });
         } else {
+            let newly_blocked = j.dep_since.is_none();
+            if newly_blocked {
+                j.dep_since = Some(self.now);
+            }
             self.scheduler.job_blocked(id);
+            if newly_blocked {
+                self.tracer
+                    .record_with(self.now, || TraceEvent::OccupancyHold {
+                        job: id.0,
+                        reason: HoldReason::DepWait,
+                    });
+            }
+        }
+    }
+
+    /// Opens the flow-control hold interval for a held job, if not already
+    /// open. Closed (and accumulated) when the op finally dispatches.
+    fn mark_occ_hold(&mut self, id: JobId) {
+        if let Some(j) = self.jobs.get_mut(&id) {
+            if j.occ_since.is_none() {
+                j.occ_since = Some(self.now);
+            }
         }
     }
 
@@ -1561,6 +1657,20 @@ impl Dispatcher {
         );
         let framework = take(j.framework + self.cfg.completion_cost);
         let queuing = remaining;
+        // Second-level decomposition (DESIGN §12): split the queuing
+        // remainder by cause with the same clamped-take discipline, so the
+        // eight journey phases still sum exactly to the JCT. Attribution is
+        // best-effort under overlap; conservation is exact by construction.
+        let mut queue_rem = queuing.as_nanos();
+        let mut take_ns = |x: u64| {
+            let t = x.min(queue_rem);
+            queue_rem -= t;
+            t
+        };
+        let retry_backoff_ns = take_ns(j.backoff_ns);
+        let queue_dep_ns = take_ns(j.dep_wait_ns);
+        let queue_occupancy_ns = take_ns(j.occ_wait_ns);
+        let queue_hol_ns = queue_rem;
         self.tracer
             .record_with(client_visible, || TraceEvent::JobEnd {
                 job: id.0,
@@ -1572,9 +1682,30 @@ impl Dispatcher {
                 framework_ns: framework.as_nanos(),
                 device_ns: device.as_nanos(),
             });
+        self.tracer
+            .record_with(client_visible, || TraceEvent::JobJourney {
+                job: id.0,
+                client: j.request.client.0,
+                jct_ns: total.as_nanos(),
+                client_send_recv_ns: client_send_recv.as_nanos(),
+                communication_ns: communication.as_nanos(),
+                framework_ns: framework.as_nanos(),
+                device_ns: device.as_nanos(),
+                retry_backoff_ns,
+                queue_dep_ns,
+                queue_occupancy_ns,
+                queue_hol_ns,
+            });
         if let Some(m) = self.metrics.as_mut() {
             m.inc("jobs_completed", 1);
             m.observe("jct_ns", total.as_nanos());
+            let (met, burn_ns) = match j.deadline_at {
+                Some(d) if client_visible > d => {
+                    (false, client_visible.saturating_since(d).as_nanos())
+                }
+                _ => (true, 0),
+            };
+            m.slo_complete(j.request.client.0, met, burn_ns);
         }
         self.completions.push(JobCompletion {
             job: id,
@@ -1648,6 +1779,16 @@ impl Dispatcher {
         }
         // Exponential backoff, shift-capped so the doubling can't overflow.
         let backoff = self.cfg.retry_backoff * (1u64 << (attempt - 1).min(16));
+        let backoff_ns = backoff.as_nanos();
+        self.tracer.record_with(at, || TraceEvent::RetryBackoff {
+            job: id.0,
+            kernel: u64::from(uid),
+            attempt,
+            backoff_ns,
+        });
+        if let Some(j) = self.jobs.get_mut(&id) {
+            j.backoff_ns += backoff_ns;
+        }
         self.events.schedule_at(
             at.saturating_add(backoff).max(self.events.now()),
             Ev::Retry(id, token),
@@ -1720,6 +1861,12 @@ impl Dispatcher {
         });
         if let Some(m) = self.metrics.as_mut() {
             m.inc("jobs_cancelled", 1);
+            m.slo_fail(j.request.client.0, reason_str);
+        }
+        // A spent retry budget is a terminal, single-node failure: snapshot
+        // the flight-recorder ring into a post-mortem dump (DESIGN §12).
+        if reason == FailureReason::RetryBudgetExhausted {
+            self.record_postmortem("retry-budget-exhausted", at);
         }
         self.failures.push(JobFailure {
             request: j.request,
@@ -1754,6 +1901,9 @@ impl Dispatcher {
             if let Ev::Ingest(req, est) = ev {
                 self.queued_ingest = self.queued_ingest.saturating_sub(1);
                 self.queued_work = self.queued_work.saturating_sub(est);
+                if let Some(m) = self.metrics.as_mut() {
+                    m.slo_fail(req.client.0, reason.as_str());
+                }
                 self.failures.push(JobFailure {
                     request: req,
                     reason,

@@ -57,6 +57,12 @@ pub trait ServingSystem {
         None
     }
 
+    /// Takes the flight-recorder post-mortem dumps rendered on terminal
+    /// failures so far. Systems without a flight recorder never produce any.
+    fn take_postmortems(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Current load as seen by layers above (routers, autoscalers).
     /// Systems that don't track load return the zero signal.
     fn load_signal(&self) -> LoadSignal {
@@ -104,6 +110,10 @@ impl ServingSystem for Dispatcher {
 
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         Dispatcher::metrics_snapshot(self)
+    }
+
+    fn take_postmortems(&mut self) -> Vec<String> {
+        Dispatcher::take_postmortems(self)
     }
 
     fn load_signal(&self) -> LoadSignal {

@@ -42,6 +42,9 @@ pub enum HoldReason {
     NotifqBackpressure,
     /// The job is waiting for free pool streams.
     StreamPool,
+    /// The job's next op depends on an earlier op that has not completed;
+    /// nothing of it is schedulable until the dependency retires.
+    DepWait,
 }
 
 impl HoldReason {
@@ -51,6 +54,7 @@ impl HoldReason {
             HoldReason::OccupancyBudget => "occupancy-budget",
             HoldReason::NotifqBackpressure => "notifq-backpressure",
             HoldReason::StreamPool => "stream-pool",
+            HoldReason::DepWait => "dep-wait",
         }
     }
 }
@@ -121,6 +125,39 @@ pub enum TraceEvent {
         framework_ns: u64,
         /// Device execution time.
         device_ns: u64,
+    },
+    /// The journey record: the request's JCT decomposed into the full phase
+    /// taxonomy (DESIGN §12). Emitted alongside [`TraceEvent::JobEnd`];
+    /// where `JobEnd` keeps the paper's legacy 5-category breakdown, the
+    /// journey further splits the queuing remainder into retry backoff,
+    /// dependency wait, occupancy/flow-control wait, and scheduler
+    /// head-of-line wait. All fields are nanoseconds and the eight phases
+    /// sum *exactly* to `jct_ns` (conservation is oracle-enforced).
+    JobJourney {
+        /// Dispatcher-assigned job id.
+        job: u64,
+        /// Submitting client — the tenant for SLO accounting.
+        client: u32,
+        /// End-to-end JCT in nanoseconds.
+        jct_ns: u64,
+        /// Client send/receive channel time.
+        client_send_recv_ns: u64,
+        /// PCIe/launch/notification communication time.
+        communication_ns: u64,
+        /// Framework (dispatcher CPU) time.
+        framework_ns: u64,
+        /// Device execution time.
+        device_ns: u64,
+        /// Time parked in retry backoff after injected kernel faults.
+        retry_backoff_ns: u64,
+        /// Time the job's frontier was blocked on its own dependencies.
+        queue_dep_ns: u64,
+        /// Time held by dispatcher flow control (occupancy budget, notifQ
+        /// backpressure, stream-pool exhaustion).
+        queue_occupancy_ns: u64,
+        /// Residual queuing: runnable but not picked — scheduler
+        /// head-of-line wait plus unattributed overlap.
+        queue_hol_ns: u64,
     },
     /// A host CPU charge: `start..` the event timestamp.
     HostOp {
@@ -248,6 +285,28 @@ pub enum TraceEvent {
         /// 1-based attempt number that faulted.
         attempt: u32,
     },
+    /// A faulted kernel's retry was scheduled: the job parks for the
+    /// backoff interval starting at this event's timestamp.
+    RetryBackoff {
+        /// Owning job.
+        job: u64,
+        /// Faulted launch uid.
+        kernel: u64,
+        /// 1-based attempt number that faulted.
+        attempt: u32,
+        /// Exponential backoff interval before the retry, nanoseconds.
+        backoff_ns: u64,
+    },
+    /// The cluster frontend re-routed a crash-lost request to another
+    /// replica (a cross-node failover hop on the request's critical path).
+    FailoverHop {
+        /// Submitting client.
+        client: u32,
+        /// Public (cluster-level) model id of the rerouted request.
+        model: u32,
+        /// 1-based failover attempt (bounded by the crash-retry budget).
+        attempt: u32,
+    },
     /// A job was cancelled mid-flight (deadline, disconnect, retry budget,
     /// or node crash); its queued ops and occupancy were reclaimed.
     JobCancelled {
@@ -290,6 +349,7 @@ impl TraceEvent {
         match self {
             TraceEvent::JobBegin { .. } => "job-begin",
             TraceEvent::JobEnd { .. } => "job-end",
+            TraceEvent::JobJourney { .. } => "job-journey",
             TraceEvent::HostOp { .. } => "host-op",
             TraceEvent::SchedDecision { .. } => "sched-decision",
             TraceEvent::OccupancyHold { .. } => "occupancy-hold",
@@ -303,6 +363,8 @@ impl TraceEvent {
             TraceEvent::DoorbellWake { .. } => "doorbell-wake",
             TraceEvent::RouteDecision { .. } => "route-decision",
             TraceEvent::KernelFault { .. } => "kernel-fault",
+            TraceEvent::RetryBackoff { .. } => "retry-backoff",
+            TraceEvent::FailoverHop { .. } => "failover-hop",
             TraceEvent::JobCancelled { .. } => "job-cancelled",
             TraceEvent::RequestShed { .. } => "request-shed",
             TraceEvent::NodeCrash { .. } => "node-crash",

@@ -159,9 +159,16 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     // Flow anchors per job: every kernel-dispatch slice plus the first SM
     // placement of each dispatched kernel, in time order.
     let mut job_of_kernel: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut begun_jobs: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for e in &events {
-        if let TraceEvent::KernelDispatched { job, kernel, .. } = e.event {
-            job_of_kernel.insert(kernel, job);
+        match e.event {
+            TraceEvent::KernelDispatched { job, kernel, .. } => {
+                job_of_kernel.insert(kernel, job);
+            }
+            TraceEvent::JobBegin { job, .. } => {
+                begun_jobs.insert(job);
+            }
+            _ => {}
         }
     }
     let mut first_span_of_kernel: BTreeMap<u64, &SmSpan> = BTreeMap::new();
@@ -227,6 +234,8 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
             }
             TraceEvent::RouteDecision { .. } => has_routes = true,
             TraceEvent::KernelFault { .. }
+            | TraceEvent::RetryBackoff { .. }
+            | TraceEvent::FailoverHop { .. }
             | TraceEvent::JobCancelled { .. }
             | TraceEvent::RequestShed { .. }
             | TraceEvent::NodeCrash { .. }
@@ -354,6 +363,27 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 push(
                     format!(
                         r#"{{"ph":"e","cat":"job","id":{job},"name":"job {job}","pid":0,"tid":0,"ts":"{at}","args":{{"client":{client},"jct_ns":{jct_ns},"client_send_recv_ns":{client_send_recv_ns},"communication_ns":{communication_ns},"queuing_scheduling_ns":{queuing_scheduling_ns},"framework_ns":{framework_ns},"device_ns":{device_ns}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobJourney {
+                job,
+                client,
+                jct_ns,
+                client_send_recv_ns,
+                communication_ns,
+                framework_ns,
+                device_ns,
+                retry_backoff_ns,
+                queue_dep_ns,
+                queue_occupancy_ns,
+                queue_hol_ns,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"journey job {job}","cat":"journey","s":"t","pid":0,"tid":0,"ts":"{at}","args":{{"client":{client},"jct_ns":{jct_ns},"client_send_recv_ns":{client_send_recv_ns},"communication_ns":{communication_ns},"framework_ns":{framework_ns},"device_ns":{device_ns},"retry_backoff_ns":{retry_backoff_ns},"queue_dep_ns":{queue_dep_ns},"queue_occupancy_ns":{queue_occupancy_ns},"queue_hol_ns":{queue_hol_ns}}}}}"#
                     ),
                     &mut out,
                     &mut first,
@@ -496,6 +526,33 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                     &mut first,
                 );
             }
+            TraceEvent::RetryBackoff {
+                job,
+                kernel,
+                attempt,
+                backoff_ns,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"backoff #{kernel} (job {job})","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{"attempt":{attempt},"backoff_ns":{backoff_ns}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::FailoverHop {
+                client,
+                model,
+                attempt,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"failover client {client}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{"model":{model},"attempt":{attempt}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
             TraceEvent::JobCancelled { job, reason } => {
                 push(
                     format!(
@@ -504,6 +561,19 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                     &mut out,
                     &mut first,
                 );
+                // Close the job's async span: a cancelled job gets no
+                // JobEnd, and dangling "b" spans are invalid (and render
+                // as infinite bars in Perfetto). Only when this log opened
+                // the span — partial logs may carry the cancel alone.
+                if begun_jobs.contains(job) {
+                    push(
+                        format!(
+                            r#"{{"ph":"e","cat":"job","id":{job},"name":"job {job}","pid":0,"tid":0,"ts":"{at}","args":{{"cancelled":"{reason}"}}}}"#
+                        ),
+                        &mut out,
+                        &mut first,
+                    );
+                }
             }
             TraceEvent::RequestShed { client, model } => {
                 push(
@@ -659,9 +729,22 @@ impl<'a> Scan<'a> {
         }
     }
 
-    /// Parses any value, returning the set of top-level keys when it is an
-    /// object (nested contents are validated but not returned).
-    fn value(&mut self) -> Result<Option<Vec<String>>, String> {
+    /// Consumes one scalar literal (number / true / false / null), returning
+    /// its raw text.
+    fn literal(&mut self) -> String {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    /// Parses any value, returning the top-level `(key, value)` pairs when
+    /// it is an object. String and literal values come back as their text;
+    /// nested objects/arrays are validated but reported as `""`.
+    fn value(&mut self) -> Result<Option<Vec<(String, String)>>, String> {
         match self.peek() {
             Some(b'{') => {
                 self.eat(b'{')?;
@@ -671,9 +754,18 @@ impl<'a> Scan<'a> {
                     return Ok(Some(keys));
                 }
                 loop {
-                    keys.push(self.string()?);
+                    let key = self.string()?;
                     self.eat(b':')?;
-                    self.value()?;
+                    let val = match self.peek() {
+                        Some(b'"') => self.string()?,
+                        Some(c) if c == b'-' || c.is_ascii_digit() => self.literal(),
+                        Some(b't') | Some(b'f') | Some(b'n') => self.literal(),
+                        _ => {
+                            self.value()?;
+                            String::new()
+                        }
+                    };
+                    keys.push((key, val));
                     match self.peek() {
                         Some(b',') => self.eat(b',')?,
                         Some(b'}') => {
@@ -729,12 +821,45 @@ impl<'a> Scan<'a> {
     }
 }
 
+/// Parses the exporter's microsecond `ts`/`dur` format (`"123.456"`) back
+/// to nanoseconds.
+fn parse_ts_ns(s: &str) -> Result<u64, String> {
+    let (us, frac) = match s.split_once('.') {
+        Some((us, frac)) => (us, frac),
+        None => (s, ""),
+    };
+    if frac.len() > 3 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad ts fraction in {s:?}"));
+    }
+    let us: u64 = us.parse().map_err(|e| format!("bad ts {s:?}: {e}"))?;
+    let mut ns = 0u64;
+    for (i, b) in frac.bytes().enumerate() {
+        ns += u64::from(b - b'0') * 10u64.pow(2 - i as u32);
+    }
+    Ok(us * 1_000 + ns)
+}
+
 /// Validates that `json` is a Chrome-trace array of event objects, each with
-/// `ph`, `pid`, `tid`, and `ts` fields. Returns the event count.
+/// `ph`, `pid`, `tid`, and `ts` fields, and that the spans it describes are
+/// well-formed:
+///
+/// * async `"b"`/`"e"` pairs (per `cat` + `id`) must balance — every end has
+///   a begin on its pid, never before the begin, and none left open;
+/// * an async span that opened *inside* a still-open span of the same
+///   `cat`+`id` group (a cross-track child) must close before its parent —
+///   a child interval exceeding the parent's is rejected;
+/// * complete `"X"` slices on one `(pid, tid)` track may nest but never
+///   partially overlap.
+///
+/// Returns the event count.
 pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     let mut s = Scan::new(json);
     s.eat(b'[')?;
     let mut count = 0usize;
+    // (cat, id) -> stack of open async spans as (pid, begin_ts_ns).
+    let mut open_async: BTreeMap<(String, String), Vec<(String, u64)>> = BTreeMap::new();
+    // (pid, tid) -> X slices as (start_ns, end_ns).
+    let mut slices: BTreeMap<(String, String), Vec<(u64, u64)>> = BTreeMap::new();
     if s.peek() == Some(b']') {
         s.eat(b']')?;
         return Ok(0);
@@ -744,9 +869,60 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
             .value()?
             .ok_or_else(|| format!("trace element {count} is not an object"))?;
         for required in ["ph", "pid", "tid", "ts"] {
-            if !keys.iter().any(|k| k == required) {
+            if !keys.iter().any(|(k, _)| k == required) {
                 return Err(format!("trace element {count} missing key {required:?}"));
             }
+        }
+        let field = |name: &str| {
+            keys.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        // invariant: the loop above proved ph/pid/tid/ts are present.
+        let ph = field("ph").expect("checked");
+        let ts_ns = parse_ts_ns(field("ts").expect("checked"))
+            .map_err(|e| format!("trace element {count}: {e}"))?;
+        match ph {
+            "b" | "e" => {
+                let cat = field("cat").unwrap_or("").to_string();
+                let id = field("id")
+                    .ok_or_else(|| format!("async span at element {count} missing id"))?
+                    .to_string();
+                let pid = field("pid").expect("checked").to_string();
+                let stack = open_async.entry((cat, id)).or_default();
+                if ph == "b" {
+                    stack.push((pid, ts_ns));
+                } else {
+                    let k = stack.iter().rposition(|(p, _)| *p == pid).ok_or_else(|| {
+                        format!("unbalanced async span: 'e' without open 'b' at element {count}")
+                    })?;
+                    if stack[k].1 > ts_ns {
+                        return Err(format!(
+                            "async span at element {count} ends at {ts_ns} before its begin {}",
+                            stack[k].1
+                        ));
+                    }
+                    if k != stack.len() - 1 {
+                        return Err(format!(
+                            "cross-track child span outlives its parent (element {count}: \
+                             {} span(s) opened inside are still open)",
+                            stack.len() - 1 - k
+                        ));
+                    }
+                    stack.pop();
+                }
+            }
+            "X" => {
+                let dur_ns = parse_ts_ns(field("dur").unwrap_or("0.000"))
+                    .map_err(|e| format!("trace element {count}: {e}"))?;
+                let pid = field("pid").expect("checked").to_string();
+                let tid = field("tid").expect("checked").to_string();
+                slices
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((ts_ns, ts_ns + dur_ns));
+            }
+            _ => {}
         }
         count += 1;
         match s.peek() {
@@ -761,6 +937,35 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     s.skip_ws();
     if s.pos != s.bytes.len() {
         return Err("trailing bytes after trace array".into());
+    }
+    for ((cat, id), stack) in &open_async {
+        if !stack.is_empty() {
+            return Err(format!(
+                "unbalanced async span: {} open 'b' without 'e' for cat={cat:?} id={id}",
+                stack.len()
+            ));
+        }
+    }
+    // Per-track X slices: sort by (start asc, end desc) and sweep with a
+    // containment stack — an interval reaching past the enclosing one is a
+    // partial overlap.
+    for ((pid, tid), list) in &mut slices {
+        list.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut active: Vec<u64> = Vec::new();
+        for &(start, end) in list.iter() {
+            while active.last().is_some_and(|&e| e <= start) {
+                active.pop();
+            }
+            if let Some(&enclosing_end) = active.last() {
+                if end > enclosing_end {
+                    return Err(format!(
+                        "partially overlapping X slices on pid={pid} tid={tid}: \
+                         [{start},{end}) vs one ending at {enclosing_end}"
+                    ));
+                }
+            }
+            active.push(end);
+        }
     }
     Ok(count)
 }
@@ -832,6 +1037,23 @@ pub fn text_summary(log: &TraceLog, metrics: Option<&MetricsSnapshot>) -> String
             for (k, v) in &m.series {
                 let peak = v.iter().map(|&(_, x)| x).max().unwrap_or(0);
                 let _ = writeln!(out, "  {k:<28} {} samples, peak {}", v.len(), peak);
+            }
+        }
+        if !m.tenant_slo.is_empty() {
+            let _ = writeln!(out, "tenant SLO:");
+            for (t, s) in &m.tenant_slo {
+                let _ = writeln!(
+                    out,
+                    "  tenant {t:<4} completed={} ok={} miss={} burn_ns={} attainment_bp={}",
+                    s.completed,
+                    s.slo_ok,
+                    s.slo_miss,
+                    s.burn_ns,
+                    s.attainment_bp()
+                );
+                for (r, n) in &s.failures {
+                    let _ = writeln!(out, "    fail {r:<24} {n}");
+                }
             }
         }
     }
@@ -995,6 +1217,161 @@ mod tests {
             ),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_async_spans() {
+        // "e" without any "b".
+        let dangling_end = r#"[
+ {"ph":"e","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"5.000"}
+]"#;
+        let err = validate_chrome_trace(dangling_end).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+
+        // "b" never closed.
+        let dangling_begin = r#"[
+ {"ph":"b","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"1.000"}
+]"#;
+        let err = validate_chrome_trace(dangling_begin).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+
+        // End before begin.
+        let time_travel = r#"[
+ {"ph":"b","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"9.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"2.000"}
+]"#;
+        let err = validate_chrome_trace(time_travel).unwrap_err();
+        assert!(err.contains("before its begin"), "{err}");
+
+        // A balanced pair passes.
+        let ok = r#"[
+ {"ph":"b","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"1.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"9.000"}
+]"#;
+        assert_eq!(validate_chrome_trace(ok), Ok(2));
+    }
+
+    #[test]
+    fn validator_rejects_cross_track_child_exceeding_parent() {
+        // The child (pid 1) opens inside the parent (pid 0) span of the
+        // same cat+id group but is still open when the parent closes: its
+        // interval exceeds the parent's.
+        let bad = r#"[
+ {"ph":"b","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"1.000"},
+ {"ph":"b","cat":"job","id":1,"name":"job 1 child","pid":1,"tid":0,"ts":"2.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"5.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1 child","pid":1,"tid":0,"ts":"9.000"}
+]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("cross-track child"), "{err}");
+
+        // Properly nested child passes.
+        let ok = r#"[
+ {"ph":"b","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"1.000"},
+ {"ph":"b","cat":"job","id":1,"name":"job 1 child","pid":1,"tid":0,"ts":"2.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1 child","pid":1,"tid":0,"ts":"4.000"},
+ {"ph":"e","cat":"job","id":1,"name":"job 1","pid":0,"tid":0,"ts":"5.000"}
+]"#;
+        assert_eq!(validate_chrome_trace(ok), Ok(4));
+    }
+
+    #[test]
+    fn validator_rejects_partially_overlapping_slices() {
+        let partial = r#"[
+ {"ph":"X","name":"a","pid":0,"tid":3,"ts":"1.000","dur":"4.000"},
+ {"ph":"X","name":"b","pid":0,"tid":3,"ts":"3.000","dur":"4.000"}
+]"#;
+        let err = validate_chrome_trace(partial).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+
+        // Containment is fine (a nested sub-slice).
+        let nested = r#"[
+ {"ph":"X","name":"a","pid":0,"tid":3,"ts":"1.000","dur":"8.000"},
+ {"ph":"X","name":"b","pid":0,"tid":3,"ts":"3.000","dur":"2.000"}
+]"#;
+        assert_eq!(validate_chrome_trace(nested), Ok(2));
+
+        // Same intervals on different tracks are fine.
+        let tracks = r#"[
+ {"ph":"X","name":"a","pid":0,"tid":3,"ts":"1.000","dur":"4.000"},
+ {"ph":"X","name":"b","pid":0,"tid":4,"ts":"3.000","dur":"4.000"}
+]"#;
+        assert_eq!(validate_chrome_trace(tracks), Ok(2));
+
+        // Back-to-back slices sharing an endpoint are fine.
+        let adjacent = r#"[
+ {"ph":"X","name":"a","pid":0,"tid":3,"ts":"1.000","dur":"2.000"},
+ {"ph":"X","name":"b","pid":0,"tid":3,"ts":"3.000","dur":"2.000"}
+]"#;
+        assert_eq!(validate_chrome_trace(adjacent), Ok(2));
+    }
+
+    #[test]
+    fn cancelled_jobs_close_their_spans() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(1), || TraceEvent::JobBegin {
+            job: 5,
+            client: 0,
+            model: "m".into(),
+            submitted_at: SimTime::ZERO,
+        });
+        t.record_with(SimTime::from_micros(4), || TraceEvent::JobCancelled {
+            job: 5,
+            reason: "retry-budget-exhausted",
+        });
+        let json = chrome_trace_json(&t.take());
+        validate_chrome_trace(&json).expect("cancel closes the span");
+        assert!(json.contains(r#""cancelled":"retry-budget-exhausted""#));
+    }
+
+    #[test]
+    fn journey_and_failover_events_render() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(2), || TraceEvent::RetryBackoff {
+            job: 1,
+            kernel: 9,
+            attempt: 1,
+            backoff_ns: 20_000,
+        });
+        t.record_with(SimTime::from_micros(3), || TraceEvent::FailoverHop {
+            client: 6,
+            model: 0,
+            attempt: 2,
+        });
+        t.record_with(SimTime::from_micros(8), || TraceEvent::JobJourney {
+            job: 1,
+            client: 6,
+            jct_ns: 8_000,
+            client_send_recv_ns: 1_000,
+            communication_ns: 500,
+            framework_ns: 500,
+            device_ns: 3_000,
+            retry_backoff_ns: 2_000,
+            queue_dep_ns: 400,
+            queue_occupancy_ns: 300,
+            queue_hol_ns: 300,
+        });
+        let json = chrome_trace_json(&t.take());
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains("backoff #9 (job 1)"));
+        assert!(json.contains("failover client 6"));
+        assert!(json.contains(r#""name":"journey job 1""#));
+        assert!(json.contains(r#""retry_backoff_ns":2000"#));
+        let s = text_summary(
+            &TraceLog {
+                events: vec![crate::tracer::TracedEvent {
+                    at: SimTime::ZERO,
+                    seq: 0,
+                    event: TraceEvent::FailoverHop {
+                        client: 6,
+                        model: 0,
+                        attempt: 2,
+                    },
+                }],
+            },
+            None,
+        );
+        assert!(s.contains("failover-hop"));
     }
 
     #[test]

@@ -4,12 +4,17 @@
 //! wall clock — so traces and metrics are byte-for-byte reproducible across
 //! runs with the same seed.
 
+pub mod critical_path;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod tracer;
 
+pub use critical_path::{
+    extract_journeys, p99_blame, per_tenant_blame, BlameReport, Journey, PhaseBreakdown, PHASES,
+};
 pub use event::{HoldReason, HostOpKind, PickRationale, TraceEvent};
 pub use export::{chrome_trace_json, text_summary, validate_chrome_trace};
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, TenantSloSummary};
 pub use tracer::{TraceLog, TracedEvent, Tracer};

@@ -83,10 +83,21 @@ impl LogHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(if i == 0 { 0 } else { (1u128 << i) as u64 });
+                return Some(Self::bucket_bound(i));
             }
         }
         Some(self.max)
+    }
+
+    /// Upper bound of bucket `i`. Bucket 64 holds values in
+    /// `[2^63, u64::MAX]`, whose true bound 2^64 doesn't fit in `u64` —
+    /// it saturates to `u64::MAX`.
+    fn bucket_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => 1u64 << i,
+        }
     }
 
     /// Non-empty buckets as `(bucket_upper_bound, count)`.
@@ -95,8 +106,18 @@ impl LogHistogram {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { (1u128 << i) as u64 }, c))
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
     }
+}
+
+/// Per-tenant SLO ledger, accumulated on virtual time (DESIGN §12).
+#[derive(Clone, Default, Debug)]
+struct TenantSlo {
+    completed: u64,
+    slo_ok: u64,
+    slo_miss: u64,
+    burn_ns: u64,
+    failures: BTreeMap<&'static str, u64>,
 }
 
 /// A registry of named metrics, all updated on virtual time.
@@ -106,6 +127,7 @@ pub struct MetricsRegistry {
     gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, LogHistogram>,
     series: BTreeMap<&'static str, Vec<(SimTime, u64)>>,
+    tenant_slo: BTreeMap<u32, TenantSlo>,
 }
 
 impl MetricsRegistry {
@@ -132,6 +154,35 @@ impl MetricsRegistry {
     /// Appends one `(t, value)` sample to a virtual-time series.
     pub fn sample(&mut self, name: &'static str, at: SimTime, value: u64) {
         self.series.entry(name).or_default().push((at, value));
+    }
+
+    /// Records one completed request for `tenant`'s SLO ledger.
+    /// `met_deadline` is whether the request finished within its deadline
+    /// (requests with no deadline configured count as met); `burn_ns` is
+    /// the error-budget burn — the virtual nanoseconds the completion ran
+    /// *past* its deadline (0 when met).
+    pub fn slo_complete(&mut self, tenant: u32, met_deadline: bool, burn_ns: u64) {
+        let t = self.tenant_slo.entry(tenant).or_default();
+        t.completed += 1;
+        if met_deadline {
+            t.slo_ok += 1;
+        } else {
+            t.slo_miss += 1;
+            t.burn_ns = t.burn_ns.saturating_add(burn_ns);
+        }
+    }
+
+    /// Records one terminally failed request for `tenant`'s SLO ledger,
+    /// broken out by the failure's stable reason label
+    /// (`FailureReason::as_str`).
+    pub fn slo_fail(&mut self, tenant: u32, reason: &'static str) {
+        *self
+            .tenant_slo
+            .entry(tenant)
+            .or_default()
+            .failures
+            .entry(reason)
+            .or_insert(0) += 1;
     }
 
     /// Current counter value (0 if never incremented).
@@ -184,6 +235,26 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(&k, v)| (k.to_string(), v.clone()))
                 .collect(),
+            tenant_slo: self
+                .tenant_slo
+                .iter()
+                .map(|(&t, s)| {
+                    (
+                        t,
+                        TenantSloSummary {
+                            completed: s.completed,
+                            slo_ok: s.slo_ok,
+                            slo_miss: s.slo_miss,
+                            burn_ns: s.burn_ns,
+                            failures: s
+                                .failures
+                                .iter()
+                                .map(|(&r, &n)| (r.to_string(), n))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -205,9 +276,37 @@ pub struct HistogramSummary {
     pub p99_bound: u64,
 }
 
+/// One tenant's frozen SLO ledger: deadline attainment and error-budget
+/// burn on the virtual clock, with terminal failures broken out per
+/// `FailureReason` label.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct TenantSloSummary {
+    /// Requests that completed (within deadline or not).
+    pub completed: u64,
+    /// Completions that met their deadline (or had none configured).
+    pub slo_ok: u64,
+    /// Completions past their deadline.
+    pub slo_miss: u64,
+    /// Error-budget burn: total virtual nanoseconds completions ran past
+    /// their deadlines.
+    pub burn_ns: u64,
+    /// Terminal failures per stable reason label, reason-sorted.
+    pub failures: Vec<(String, u64)>,
+}
+
+impl TenantSloSummary {
+    /// Deadline attainment over completions, in basis points
+    /// (0..=10000); 10000 when the tenant has no completions.
+    pub fn attainment_bp(&self) -> u64 {
+        (self.slo_ok * 10_000)
+            .checked_div(self.completed)
+            .unwrap_or(10_000)
+    }
+}
+
 /// A frozen, ordered copy of a [`MetricsRegistry`] for `RunStats` and
 /// reports.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Default, PartialEq, Debug)]
 pub struct MetricsSnapshot {
     /// Counter values, name-sorted.
     pub counters: Vec<(String, u64)>,
@@ -217,6 +316,8 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Time series, name-sorted.
     pub series: Vec<(String, Vec<(SimTime, u64)>)>,
+    /// Per-tenant SLO ledgers, tenant-sorted.
+    pub tenant_slo: Vec<(u32, TenantSloSummary)>,
 }
 
 impl MetricsSnapshot {
@@ -235,6 +336,14 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_slice())
+    }
+
+    /// One tenant's SLO ledger, if it recorded anything.
+    pub fn tenant(&self, tenant: u32) -> Option<&TenantSloSummary> {
+        self.tenant_slo
+            .iter()
+            .find(|&&(t, _)| t == tenant)
+            .map(|(_, s)| s)
     }
 }
 
@@ -290,5 +399,88 @@ mod tests {
         assert_eq!(snap.series("ready").unwrap().len(), 2);
         assert_eq!(snap.histograms[0].0, "jct_ns");
         assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn histogram_percentile_edges() {
+        // Empty: no quantiles at all.
+        let empty = LogHistogram::new();
+        assert_eq!(empty.quantile_bound(0.0), None);
+        assert_eq!(empty.quantile_bound(0.99), None);
+        assert_eq!(empty.iter().count(), 0);
+
+        // Single sample: every quantile lands in its bucket.
+        let mut single = LogHistogram::new();
+        single.push(1000);
+        assert_eq!(single.quantile_bound(0.0), Some(1024));
+        assert_eq!(single.quantile_bound(0.5), Some(1024));
+        assert_eq!(single.quantile_bound(1.0), Some(1024));
+
+        // All samples in the overflow bucket (bit length 64): the bound
+        // must saturate to u64::MAX, not wrap to 0.
+        let mut overflow = LogHistogram::new();
+        for _ in 0..3 {
+            overflow.push(u64::MAX);
+        }
+        assert_eq!(overflow.quantile_bound(0.5), Some(u64::MAX));
+        assert_eq!(overflow.quantile_bound(0.99), Some(u64::MAX));
+        let buckets: Vec<(u64, u64)> = overflow.iter().collect();
+        assert_eq!(buckets, vec![(u64::MAX, 3)]);
+
+        // Exact bucket boundary: 2^k opens bucket k+1, so its bound is
+        // 2^(k+1), not 2^k.
+        let mut boundary = LogHistogram::new();
+        boundary.push(8);
+        assert_eq!(boundary.quantile_bound(0.5), Some(16));
+        boundary.push(7);
+        assert_eq!(boundary.quantile_bound(0.0), Some(8), "7 ∈ [4,8)");
+    }
+
+    #[test]
+    fn snapshot_is_insertion_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.inc("y", 2);
+        a.gauge("g", 3);
+        a.observe("h", 10);
+        a.sample("s", SimTime::from_micros(1), 5);
+        a.slo_fail(2, "shed");
+        a.slo_complete(1, true, 0);
+        let mut b = MetricsRegistry::new();
+        b.slo_complete(1, true, 0);
+        b.slo_fail(2, "shed");
+        b.sample("s", SimTime::from_micros(1), 5);
+        b.observe("h", 10);
+        b.gauge("g", 3);
+        b.inc("y", 2);
+        b.inc("x", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn slo_ledger_accounts_attainment_and_burn() {
+        let mut m = MetricsRegistry::new();
+        m.slo_complete(1, true, 0);
+        m.slo_complete(1, false, 500);
+        m.slo_complete(1, false, 700);
+        m.slo_fail(1, "retry-budget-exhausted");
+        m.slo_fail(1, "retry-budget-exhausted");
+        m.slo_fail(1, "node-crash");
+        let snap = m.snapshot();
+        let t = snap.tenant(1).unwrap();
+        assert_eq!(t.completed, 3);
+        assert_eq!(t.slo_ok, 1);
+        assert_eq!(t.slo_miss, 2);
+        assert_eq!(t.burn_ns, 1200);
+        assert_eq!(t.attainment_bp(), 3333);
+        assert_eq!(
+            t.failures,
+            vec![
+                ("node-crash".to_string(), 1),
+                ("retry-budget-exhausted".to_string(), 2)
+            ]
+        );
+        assert!(snap.tenant(9).is_none());
+        assert_eq!(TenantSloSummary::default().attainment_bp(), 10_000);
     }
 }

@@ -62,6 +62,26 @@ impl TraceLog {
 struct Inner {
     events: Vec<TracedEvent>,
     next_seq: u64,
+    /// Flight-recorder ring: the last `flight_cap` events, kept even as
+    /// `take` drains the main log. `flight_head` is the logical start of
+    /// the ring within `flight` (oldest retained event).
+    flight: Vec<TracedEvent>,
+    flight_head: usize,
+    flight_cap: usize,
+}
+
+impl Inner {
+    fn push(&mut self, e: TracedEvent) {
+        if self.flight_cap > 0 {
+            if self.flight.len() < self.flight_cap {
+                self.flight.push(e.clone());
+            } else {
+                self.flight[self.flight_head] = e.clone();
+                self.flight_head = (self.flight_head + 1) % self.flight_cap;
+            }
+        }
+        self.events.push(e);
+    }
 }
 
 /// A typed, virtual-time event sink.
@@ -95,11 +115,37 @@ impl Tracer {
         if let Some(inner) = self.0.as_mut() {
             let seq = inner.next_seq;
             inner.next_seq += 1;
-            inner.events.push(TracedEvent {
+            inner.push(TracedEvent {
                 at,
                 seq,
                 event: f(),
             });
+        }
+    }
+
+    /// Arms the flight-recorder ring: the tracer keeps the last `n`
+    /// recorded events available through [`flight_snapshot`]
+    /// (Tracer::flight_snapshot) even after [`take`](Tracer::take) drains
+    /// the main log. `n = 0` disarms the ring. No-op when disabled.
+    pub fn set_flight_capacity(&mut self, n: usize) {
+        if let Some(inner) = self.0.as_mut() {
+            inner.flight.clear();
+            inner.flight_head = 0;
+            inner.flight_cap = n;
+        }
+    }
+
+    /// The flight-recorder ring's contents, oldest first. Empty when the
+    /// ring is disarmed or the tracer is disabled.
+    pub fn flight_snapshot(&self) -> Vec<TracedEvent> {
+        match self.0.as_ref() {
+            Some(inner) => {
+                let mut out = Vec::with_capacity(inner.flight.len());
+                out.extend_from_slice(&inner.flight[inner.flight_head..]);
+                out.extend_from_slice(&inner.flight[..inner.flight_head]);
+                out
+            }
+            None => Vec::new(),
         }
     }
 
@@ -168,5 +214,40 @@ mod tests {
         assert_eq!(kernels, vec![21, 10, 20], "time first, then source order");
         let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2], "merged log is re-sequenced");
+    }
+
+    #[test]
+    fn flight_ring_keeps_last_n_across_takes() {
+        let mut t = Tracer::enabled();
+        t.set_flight_capacity(3);
+        for k in 0..5u64 {
+            t.record_with(SimTime::from_micros(k), || TraceEvent::KernelCompleted {
+                kernel: k,
+            });
+        }
+        let _ = t.take();
+        // Record one more after the drain: the ring must still be armed.
+        t.record_with(SimTime::from_micros(9), || TraceEvent::KernelCompleted {
+            kernel: 9,
+        });
+        let flight = t.flight_snapshot();
+        let kernels: Vec<u64> = flight
+            .iter()
+            .map(|e| match e.event {
+                TraceEvent::KernelCompleted { kernel } => kernel,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kernels, vec![3, 4, 9], "last 3, oldest first");
+    }
+
+    #[test]
+    fn flight_ring_disarmed_or_disabled_is_empty() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::ZERO, || TraceEvent::KernelCompleted { kernel: 1 });
+        assert!(t.flight_snapshot().is_empty(), "ring off by default");
+        let mut d = Tracer::disabled();
+        d.set_flight_capacity(8);
+        assert!(d.flight_snapshot().is_empty());
     }
 }

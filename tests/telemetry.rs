@@ -148,6 +148,45 @@ fn job_end_breakdown_sums_to_jct() {
 }
 
 #[test]
+fn journeys_cover_every_completion_and_conserve_exactly() {
+    let stats = run(7, true);
+    let log = trace_of(&stats);
+
+    // The journey layer refines the JobEnd breakdown: one JobJourney per
+    // completion, phases summing *exactly* to the JCT — zero slack — and
+    // matching the JCT the client observed.
+    let journeys = paella_telemetry::extract_journeys(log);
+    assert_eq!(journeys.len(), stats.completions.len());
+    let by_job: std::collections::HashMap<u64, _> =
+        journeys.iter().map(|j| (j.job, j.breakdown)).collect();
+    for c in &stats.completions {
+        let b = by_job.get(&c.job.0).expect("journey for completion");
+        b.check_conservation().expect("exact phase conservation");
+        assert_eq!(b.jct_ns, c.jct().as_nanos(), "trace and API agree");
+    }
+    // The full oracle (first- and second-level conservation, one-to-one
+    // JobEnd pairing) agrees.
+    assert_eq!(
+        paella_check::check_journeys(log),
+        Ok(stats.completions.len())
+    );
+
+    // A fault-free, deadline-free run leaves the failure phases empty and
+    // the SLO ledger all-green.
+    for j in &journeys {
+        assert_eq!(j.breakdown.retry_backoff_ns, 0);
+    }
+    let m = stats.metrics.as_ref().expect("metrics on");
+    let (completed, misses): (u64, u64) = m
+        .tenant_slo
+        .iter()
+        .fold((0, 0), |(c, s), (_, t)| (c + t.completed, s + t.slo_miss));
+    assert_eq!(completed, stats.completions.len() as u64);
+    assert_eq!(misses, 0, "no deadlines configured");
+    assert!(m.tenant_slo.iter().all(|(_, t)| t.failures.is_empty()));
+}
+
+#[test]
 fn same_seed_exports_identical_bytes() {
     let a = run(13, true);
     let b = run(13, true);
