@@ -75,6 +75,8 @@ impl NotifWriter {
         // word here means a writer lapped the reader. Checking the slot
         // itself (not a reader cursor snapshot) keeps the assert race-free:
         // this writer owns the slot from claim to publish.
+        // acquire: the overrun check must observe the reader's slot reset
+        // (its release store of INVALID_WORD), not a stale live word.
         #[cfg(feature = "check-overrun")]
         assert_eq!(
             slot.load(Ordering::Acquire),

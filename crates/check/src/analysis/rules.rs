@@ -1,0 +1,1223 @@
+//! Rules R1–R9 over token trees.
+//!
+//! Two execution strategies, matched to what each rule needs:
+//!
+//! * **Linear token rules** (R1–R4, R8, R9, and R6's hasher ban) scan the
+//!   flat token stream with the `#[cfg(test)]` mask — they need operator
+//!   fusion and literal-blanking but no block structure.
+//! * **Dataflow-lite rules** (R6 iteration, R7 accounting) walk function
+//!   bodies statement by statement, tracking `let` bindings, enclosing
+//!   `if`/`while` conditions, preceding `assert!` guards, and the
+//!   workspace-wide struct-field index, so they can tell
+//!   `self.jobs.values().…sum::<f64>()` (order-dependent: flag) from
+//!   `….keys().copied().collect()` followed by `ids.sort_unstable()`
+//!   (collected-and-sorted: escape).
+//!
+//! Every rule is heuristic by design: it must never panic on odd code, and
+//! it errs toward flagging — the allowlist (with a written justification)
+//! is the pressure valve, not a weaker rule.
+
+use std::collections::HashMap;
+
+use super::items::StructItem;
+use super::tree::{linearize, LTok, Tok, Tree};
+use crate::lint::{justified, Line, Violation};
+
+/// R6 rule id.
+pub const R6: &str = "det-hash-iteration";
+/// R7 rule id.
+pub const R7: &str = "unchecked-counter-sub";
+/// R8 rule id.
+pub const R8: &str = "atomic-ordering-audit";
+/// R9 rule id.
+pub const R9: &str = "float-cmp-totality";
+
+/// Which rules apply to a workspace-relative path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    /// R1: virtual-time stack (sim/core/gpu/cluster/bench/workload/
+    /// telemetry). Unlike the legacy lint, the bench harness files are NOT
+    /// carved out here — their wall-clock reads are allowlisted in
+    /// `analyze.allow` with written justifications instead.
+    pub sim_stack: bool,
+    /// R2: lock-free channels.
+    pub channels: bool,
+    /// R3: per-request hot paths.
+    pub hot_path: bool,
+    /// R4: library code (everything but bench).
+    pub library: bool,
+    /// R6: scheduling/dispatch/cluster/workload decision paths.
+    pub decision: bool,
+    /// R7: occupancy/accounting structs (core, cluster, gpu).
+    pub accounting: bool,
+    /// R8: atomic operations (channels, core).
+    pub atomics: bool,
+    /// R9: float comparisons feeding decisions.
+    pub float_cmp: bool,
+}
+
+/// Computes the rule scopes for one file path.
+pub fn scope_of(path: &str) -> Scope {
+    let starts = |p: &str| path.starts_with(p);
+    let core = starts("crates/core/src/");
+    let cluster = starts("crates/cluster/src/");
+    let gpu = starts("crates/gpu/src/");
+    let sim = starts("crates/sim/src/");
+    let workload = starts("crates/workload/src/");
+    Scope {
+        sim_stack: sim
+            || core
+            || gpu
+            || cluster
+            || workload
+            || starts("crates/bench/src/")
+            || starts("crates/telemetry/src/"),
+        channels: starts("crates/channels/src/"),
+        hot_path: path == "crates/core/src/dispatcher.rs" || cluster,
+        library: starts("crates/") && path.contains("/src/") && !starts("crates/bench/"),
+        decision: matches!(
+            path,
+            "crates/core/src/sched.rs"
+                | "crates/core/src/dispatcher.rs"
+                | "crates/core/src/batching.rs"
+                | "crates/core/src/mig.rs"
+        ) || cluster
+            || workload,
+        accounting: core || cluster || gpu,
+        atomics: starts("crates/channels/src/") || core,
+        float_cmp: sim || core || cluster || workload || gpu,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Struct-field index
+// ---------------------------------------------------------------------------
+
+/// What the rules know about one struct field.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FieldClass {
+    /// Typed `HashMap`/`HashSet`: iteration order is per-process seeded.
+    pub hash: bool,
+    /// Unsigned scalar counter/gauge (counter-ish name): `-=` can underflow.
+    pub counter: bool,
+    /// Map with unsigned counter values: `*map.get_mut(k) -= …` underflows.
+    pub counter_map: bool,
+}
+
+impl FieldClass {
+    fn merge(self, other: FieldClass) -> FieldClass {
+        // Name collisions across structs resolve conservatively: a field
+        // name that is hash-iterable or a counter *anywhere* is treated so
+        // everywhere the same-file index has no better answer.
+        FieldClass {
+            hash: self.hash || other.hash,
+            counter: self.counter || other.counter,
+            counter_map: self.counter_map || other.counter_map,
+        }
+    }
+}
+
+/// Name fragments marking a field as an accounting counter/gauge.
+const COUNTER_FRAGMENTS: &[&str] = &[
+    "count",
+    "outstanding",
+    "inflight",
+    "queued",
+    "free",
+    "used",
+    "len",
+    "resident",
+    "running",
+    "unplaced",
+    "reserved",
+    "blocks",
+    "threads",
+    "registers",
+    "regs",
+    "shmem",
+    "slots",
+    "occupancy",
+    "credits",
+    "budget",
+    "seq",
+    "per_sm",
+];
+
+const UNSIGNED: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize"];
+
+fn classify_field(name: &str, ty: &str) -> FieldClass {
+    let toks: Vec<&str> = ty.split_whitespace().collect();
+    let unsigned_somewhere = toks.iter().any(|t| UNSIGNED.contains(t));
+    let named = COUNTER_FRAGMENTS.iter().any(|f| name.contains(f));
+    let is_map = toks
+        .first()
+        .is_some_and(|t| *t == "HashMap" || *t == "BTreeMap" || t.ends_with("Map"));
+    FieldClass {
+        hash: toks.iter().any(|t| *t == "HashMap" || *t == "HashSet"),
+        counter: toks.len() == 1 && unsigned_somewhere && named,
+        counter_map: is_map && unsigned_somewhere && named,
+    }
+}
+
+/// Workspace-wide struct-field classification. Lookup prefers fields of
+/// structs declared in the same file; unknown names fall back to the global
+/// (conservatively merged) index, so cross-crate field accesses still
+/// classify.
+#[derive(Debug, Default)]
+pub struct FieldIndex {
+    per_file: HashMap<String, HashMap<String, FieldClass>>,
+    global: HashMap<String, FieldClass>,
+}
+
+impl FieldIndex {
+    /// Adds every field of `structs` (declared in `path`) to the index.
+    pub fn add_structs(&mut self, path: &str, structs: &[StructItem]) {
+        let file = self.per_file.entry(path.to_string()).or_default();
+        for s in structs {
+            for f in &s.fields {
+                let c = classify_field(&f.name, &f.ty);
+                let e = file.entry(f.name.clone()).or_default();
+                *e = e.merge(c);
+                let g = self.global.entry(f.name.clone()).or_default();
+                *g = g.merge(c);
+            }
+        }
+    }
+
+    /// Classification of field `name` as seen from `path`.
+    pub fn lookup(&self, path: &str, name: &str) -> FieldClass {
+        if let Some(c) = self.per_file.get(path).and_then(|m| m.get(name)) {
+            return *c;
+        }
+        self.global.get(name).copied().unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear token rules: R1–R4, R8, R9, R6-hasher
+// ---------------------------------------------------------------------------
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn ordering_tag(ordering: &str) -> Option<&'static str> {
+    match ordering {
+        "Relaxed" => Some("relaxed:"),
+        "Acquire" => Some("acquire:"),
+        "Release" => Some("release:"),
+        "AcqRel" => Some("acqrel:"),
+        "SeqCst" => Some("seqcst:"),
+        _ => None,
+    }
+}
+
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+/// Runs the token-stream rules over one file.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn token_rules(
+    path: &str,
+    lines: &[Line],
+    toks: &[Tok],
+    mask: &[bool],
+    scope: Scope,
+    out: &mut Vec<Violation>,
+) {
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+    let in_test = |line: usize| mask.get(line).copied().unwrap_or(false);
+    for (i, t) in toks.iter().enumerate() {
+        // R1: wall clock in the virtual-time stack (applies in tests too —
+        // a test that reads the host clock is as nondeterministic as the
+        // code it checks).
+        if scope.sim_stack && t.ident && (t.text == "Instant" || t.text == "SystemTime") {
+            push(
+                t.line,
+                "no-wall-clock",
+                "wall-clock time in the virtual-time simulation stack".into(),
+            );
+        }
+        if in_test(t.line) {
+            continue;
+        }
+        // R2: Relaxed in channels needs a written argument.
+        if scope.channels
+            && seq(toks, i, &["Ordering", "::", "Relaxed"])
+            && !justified(lines, t.line, "relaxed:")
+        {
+            push(
+                t.line,
+                "relaxed-needs-justification",
+                "Ordering::Relaxed without a `relaxed:` justification comment".into(),
+            );
+        }
+        // R3: hot-path unwrap/bare expect.
+        if scope.hot_path {
+            if seq(toks, i, &[".", "unwrap", "(", ")"]) {
+                push(
+                    toks[i + 1].line,
+                    "hot-path-unwrap",
+                    "unwrap() on a request hot path; use expect() with an `invariant:` comment"
+                        .into(),
+                );
+            }
+            if seq(toks, i, &[".", "expect", "("])
+                && !justified(lines, toks[i + 1].line, "invariant:")
+            {
+                push(
+                    toks[i + 1].line,
+                    "hot-path-unwrap",
+                    "expect() on a request hot path without an `invariant:` comment".into(),
+                );
+            }
+        }
+        // R4: no sleeping in library code.
+        if scope.library && seq(toks, i, &["thread", "::", "sleep"]) {
+            push(
+                t.line,
+                "no-thread-sleep",
+                "thread::sleep in library code; the stack is event-driven".into(),
+            );
+        }
+        // R6 (hasher half): seeded hashers anywhere in decision paths.
+        if scope.decision && t.ident && (t.text == "RandomState" || t.text == "DefaultHasher") {
+            push(
+                t.line,
+                R6,
+                format!(
+                    "{} is per-process seeded; decision paths must be cross-process deterministic",
+                    t.text
+                ),
+            );
+        }
+        // R8: every atomic op needs a per-operation ordering justification.
+        if scope.atomics
+            && t.ident
+            && ATOMIC_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            // Scan the argument region (to the matching close paren) for
+            // Ordering::X mentions; no Ordering argument ⇒ not an atomic op
+            // (e.g. `.load` of a config cache).
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    "Ordering" if seq(toks, j, &["Ordering", "::"]) => {
+                        if let Some(ord) = toks.get(j + 2) {
+                            let tag = ordering_tag(&ord.text);
+                            // R2 already owns Relaxed-in-channels; R8 covers
+                            // every other (file, ordering) pair so no op is
+                            // double-reported.
+                            let r2_owns = scope.channels && ord.text == "Relaxed";
+                            if let (Some(tag), false) = (tag, r2_owns) {
+                                let ok = justified(lines, ord.line, tag)
+                                    || justified(lines, ord.line, "ordering:")
+                                    || justified(lines, t.line, tag)
+                                    || justified(lines, t.line, "ordering:");
+                                if !ok {
+                                    push(
+                                        ord.line,
+                                        R8,
+                                        format!(
+                                            "atomic `{}` with Ordering::{} lacks an adjacent `{}` (or `ordering:`) justification",
+                                            t.text, ord.text, tag
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // R9: NaN-unsafe comparisons in decision code. `fn partial_cmp` is
+        // a PartialOrd impl, not a use site.
+        if scope.float_cmp
+            && t.ident
+            && t.text == "partial_cmp"
+            && !(i > 0 && toks[i - 1].text == "fn")
+        {
+            let fwd_panics = toks[i..]
+                .iter()
+                .take_while(|x| x.text != ";")
+                .take(40)
+                .any(|x| x.ident && (x.text == "unwrap" || x.text == "expect"));
+            let back_sorts = toks[..i]
+                .iter()
+                .rev()
+                .take_while(|x| x.text != ";" && x.text != "{")
+                .take(40)
+                .any(|x| {
+                    x.ident
+                        && matches!(
+                            x.text.as_str(),
+                            "sort_by"
+                                | "sort_unstable_by"
+                                | "max_by"
+                                | "min_by"
+                                | "binary_search_by"
+                        )
+                });
+            if fwd_panics || back_sorts {
+                push(
+                    t.line,
+                    R9,
+                    "NaN-unsafe partial_cmp in decision code; use f64::total_cmp or an integer key"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow-lite walker: R6 iteration, R7 accounting
+// ---------------------------------------------------------------------------
+
+/// One scanned token of a statement (delimiters included as plain tokens).
+#[derive(Clone, Debug)]
+struct S {
+    t: String,
+    line: usize,
+    id: bool,
+}
+
+fn scan(trees: &[Tree]) -> Vec<S> {
+    let mut l = Vec::new();
+    linearize(trees, false, &mut l);
+    l.into_iter()
+        .map(|x| match x {
+            LTok::T(t) => S {
+                id: t.ident,
+                t: t.text,
+                line: t.line,
+            },
+            other => S {
+                t: other.text().to_string(),
+                line: other.line(),
+                id: false,
+            },
+        })
+        .collect()
+}
+
+/// Walks back from the operator/dot at `at` and collects the receiver chain
+/// (outermost first), plus whether it was dereferenced (`*x`). Gives up
+/// (empty chain) on anything but a plain `a.b.c` path — unknown receivers
+/// are never flagged.
+fn chain_back(s: &[S], at: usize) -> (Vec<String>, bool) {
+    let mut chain = Vec::new();
+    let mut j = at;
+    loop {
+        if j == 0 {
+            chain.clear();
+            break;
+        }
+        j -= 1;
+        if s[j].id {
+            chain.push(s[j].t.clone());
+        } else {
+            chain.clear();
+            break;
+        }
+        if j == 0 {
+            break;
+        }
+        if s[j - 1].t == "." {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    let deref = !chain.is_empty() && j > 0 && s[j - 1].t == "*";
+    chain.reverse();
+    (chain, deref)
+}
+
+/// Reads a field chain forward from `j` (skipping `&`/`mut`), for
+/// `for … in &self.map` headers. Empty if the expression is a call.
+fn chain_fwd(s: &[S], mut j: usize) -> Vec<String> {
+    while j < s.len() && (s[j].t == "&" || s[j].t == "mut") {
+        j += 1;
+    }
+    let mut chain = Vec::new();
+    while j < s.len() && s[j].id {
+        chain.push(s[j].t.clone());
+        if j + 1 < s.len() && s[j + 1].t == "." {
+            j += 2;
+        } else {
+            j += 1;
+            break;
+        }
+    }
+    // A trailing `(` means this was a method call, not a field path.
+    if j < s.len() && s[j].t == "(" {
+        chain.clear();
+    }
+    chain
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Adapters that preserve order-dependence: keep scanning the chain.
+const TRANSPARENT: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "copied",
+    "cloned",
+    "enumerate",
+    "inspect",
+    "chain",
+    "take",
+    "skip",
+    "by_ref",
+];
+
+/// Terminals whose result cannot depend on iteration order.
+const ORDER_OK: &[&str] = &["count", "any", "all", "min", "max", "is_empty", "len"];
+
+const INTEGER_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bind {
+    hash: bool,
+    counter_ref: bool,
+}
+
+/// Per-function walker state for R6/R7.
+pub(crate) struct FnWalker<'a> {
+    pub path: &'a str,
+    pub fidx: &'a FieldIndex,
+    pub r6: bool,
+    pub r7: bool,
+    pub out: &'a mut Vec<Violation>,
+    conds: Vec<Vec<String>>,
+    guards: Vec<Vec<String>>,
+    binds: Vec<(String, Bind)>,
+}
+
+impl<'a> FnWalker<'a> {
+    pub fn new(
+        path: &'a str,
+        fidx: &'a FieldIndex,
+        scope: Scope,
+        out: &'a mut Vec<Violation>,
+    ) -> Self {
+        FnWalker {
+            path,
+            fidx,
+            r6: scope.decision,
+            r7: scope.accounting,
+            out,
+            conds: Vec::new(),
+            guards: Vec::new(),
+            binds: Vec::new(),
+        }
+    }
+
+    /// Walks a function: seeds parameter bindings, then walks the body.
+    pub fn walk_fn(&mut self, params: Option<&[Tree]>, body: &[Tree]) {
+        if let Some(p) = params {
+            for f in super::items::parse_fields_of(p) {
+                let hash = f.ty.contains("HashMap") || f.ty.contains("HashSet");
+                self.binds.push((
+                    f.name,
+                    Bind {
+                        hash,
+                        counter_ref: false,
+                    },
+                ));
+            }
+        }
+        self.walk_block(body);
+        self.conds.clear();
+        self.guards.clear();
+        self.binds.clear();
+    }
+
+    fn lookup_bind(&self, name: &str) -> Bind {
+        self.binds
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, b)| b)
+            .unwrap_or_default()
+    }
+
+    /// Whether a receiver chain resolves to hash-iterable storage.
+    fn hashy(&self, chain: &[String]) -> bool {
+        let Some(comp) = chain.last() else {
+            return false;
+        };
+        if chain.len() == 1 {
+            self.lookup_bind(comp).hash
+        } else {
+            self.fidx.lookup(self.path, comp).hash
+        }
+    }
+
+    /// Classifies the RHS of a `let` from its scanned tokens after `=`.
+    fn classify_init(&self, s: &[S], eq: usize, full_text: &str) -> Bind {
+        let init = &s[eq + 1..];
+        let has_collect = init.iter().any(|t| t.id && t.t == "collect");
+        let names_hash_ty = full_text.contains("HashMap") || full_text.contains("HashSet");
+        let hash = if has_collect {
+            // Collected result: hash only if collected *into* a hash type.
+            names_hash_ty
+        } else {
+            // Direct alias/constructor: `&self.jobs`, `HashMap::new()`.
+            let last_id = init.iter().rev().find(|t| t.id);
+            let aliases_hash_field = last_id.is_some_and(|t| {
+                self.fidx.lookup(self.path, &t.t).hash || self.lookup_bind(&t.t).hash
+            });
+            names_hash_ty || aliases_hash_field
+        };
+        let counter_ref = init.iter().any(|t| {
+            let c = self.fidx.lookup(self.path, &t.t);
+            t.id && (c.counter || c.counter_map)
+        });
+        Bind { hash, counter_ref }
+    }
+
+    /// Extracts bindings from a control header containing `let`
+    /// (`if let Some(r) = …`, `while let …`): pattern idents bind to the
+    /// RHS classification.
+    fn header_let_binds(&mut self, s: &[S], text: &str) {
+        let Some(let_at) = s.iter().position(|t| t.t == "let") else {
+            return;
+        };
+        let Some(eq_rel) = s[let_at..].iter().position(|t| t.t == "=") else {
+            return;
+        };
+        let eq = let_at + eq_rel;
+        let bind = self.classify_init(s, eq, text);
+        for t in &s[let_at + 1..eq] {
+            if t.id && t.t.starts_with(|c: char| c.is_ascii_lowercase()) && t.t != "mut" {
+                self.binds.push((t.t.clone(), bind));
+            }
+        }
+    }
+
+    fn walk_block(&mut self, children: &[Tree]) {
+        let stmts = super::tree::split_stmts(children);
+        // Flat texts of each statement, for collected-then-sorted lookahead.
+        let texts: Vec<String> = stmts.iter().map(|st| st.text.clone()).collect();
+        let base_binds = self.binds.len();
+        let base_guards = self.guards.len();
+        for (si, stmt) in stmts.iter().enumerate() {
+            // Split a trailing `{}` group off: its statements are walked
+            // recursively; everything before it is this statement's header.
+            let (head, block) = match stmt.trees.last() {
+                Some(Tree::Group {
+                    delim: '{',
+                    children,
+                    ..
+                }) => (&stmt.trees[..stmt.trees.len() - 1], Some(children)),
+                _ => (stmt.trees, None),
+            };
+            let s = scan(head);
+            if self.r6 {
+                self.check_iter(&s, &stmt.text, &texts[si + 1..]);
+            }
+            if self.r7 {
+                self.check_sub(&s, &stmt.text);
+            }
+            // Record guards and bindings *after* checking the statement
+            // itself (a guard does not exempt its own line).
+            let first = s.first().map(|t| t.t.as_str()).unwrap_or("");
+            if first.starts_with("assert") || first.starts_with("debug_assert") {
+                self.guards
+                    .push(s.iter().filter(|t| t.id).map(|t| t.t.clone()).collect());
+            }
+            if first == "let" {
+                let name = s
+                    .iter()
+                    .skip(1)
+                    .find(|t| t.id && t.t != "mut")
+                    .map(|t| t.t.clone());
+                if let (Some(name), Some(eq)) = (name, s.iter().position(|t| t.t == "=")) {
+                    let bind = self.classify_init(&s, eq, &stmt.text);
+                    self.binds.push((name, bind));
+                }
+            }
+            if let Some(block) = block {
+                let inner_binds = self.binds.len();
+                let is_cond = first == "if"
+                    || first == "while"
+                    || (first == "else" && s.iter().any(|t| t.t == "if"));
+                if s.iter().any(|t| t.t == "let") && first != "let" {
+                    self.header_let_binds(&s, &stmt.text);
+                }
+                if is_cond {
+                    self.conds.push(s.iter().map(|t| t.t.clone()).collect());
+                }
+                self.walk_block(block);
+                if is_cond {
+                    self.conds.pop();
+                }
+                self.binds.truncate(inner_binds);
+            }
+        }
+        self.binds.truncate(base_binds);
+        self.guards.truncate(base_guards);
+    }
+
+    // -- R6 ---------------------------------------------------------------
+
+    fn check_iter(&mut self, s: &[S], stmt_text: &str, later: &[String]) {
+        // Method-call iteration: `recv.iter()`, `recv.values_mut()`, …
+        for i in 0..s.len() {
+            if !(s[i].id && ITER_METHODS.contains(&s[i].t.as_str())) {
+                continue;
+            }
+            if i == 0 || s[i - 1].t != "." {
+                continue;
+            }
+            if s.get(i + 1).is_none_or(|n| n.t != "(") {
+                continue;
+            }
+            let (chain, _) = chain_back(s, i - 1);
+            if chain.is_empty() || !self.hashy(&chain) {
+                continue;
+            }
+            if s[i].t != "retain" && self.escaped(s, i, stmt_text, later) {
+                continue;
+            }
+            let m = &s[i].t;
+            self.out.push(Violation {
+                file: self.path.to_string(),
+                line: s[i].line + 1,
+                rule: R6,
+                message: format!(
+                    "`{}.{m}()` iterates seeded-hash storage in a decision path; \
+                     collect-and-sort, use a BTreeMap, or allowlist with justification",
+                    chain.join(".")
+                ),
+            });
+        }
+        // `for pat in &self.map { … }` headers.
+        if s.first().is_some_and(|t| t.t == "for") {
+            if let Some(in_at) = s.iter().position(|t| t.t == "in") {
+                let chain = chain_fwd(s, in_at + 1);
+                if !chain.is_empty() && self.hashy(&chain) {
+                    self.out.push(Violation {
+                        file: self.path.to_string(),
+                        line: s[in_at].line + 1,
+                        rule: R6,
+                        message: format!(
+                            "`for … in {}` iterates seeded-hash storage in a decision path; \
+                             collect-and-sort or use a BTreeMap",
+                            chain.join(".")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether the chain following the iteration call at `i` ends in an
+    /// order-insensitive terminal, or is collected and sorted afterwards.
+    fn escaped(&self, s: &[S], i: usize, stmt_text: &str, later: &[String]) -> bool {
+        // Jump past the method's argument group.
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        while j < s.len() {
+            match s[j].t.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        loop {
+            if j + 1 >= s.len() || s[j].t != "." || !s[j + 1].id {
+                return false; // chain ended without an order-safe terminal
+            }
+            let m = s[j + 1].t.clone();
+            j += 2;
+            // Optional turbofish: `::<…>`.
+            let mut turbofish = String::new();
+            if s.get(j).is_some_and(|t| t.t == "::") && s.get(j + 1).is_some_and(|t| t.t == "<") {
+                let mut angle = 0i64;
+                j += 1;
+                while j < s.len() {
+                    match s[j].t.as_str() {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle <= 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {
+                            turbofish.push_str(&s[j].t);
+                            turbofish.push(' ');
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Skip the call's argument group, if present.
+            if s.get(j).is_some_and(|t| t.t == "(") {
+                let mut depth = 0i64;
+                while j < s.len() {
+                    match s[j].t.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            depth -= 1;
+                            if depth <= 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if TRANSPARENT.contains(&m.as_str()) {
+                continue;
+            }
+            if ORDER_OK.contains(&m.as_str()) {
+                return true;
+            }
+            if m == "sum" {
+                // Integer sums commute exactly; float sums don't.
+                return turbofish
+                    .split_whitespace()
+                    .any(|t| INTEGER_TYPES.contains(&t));
+            }
+            if m == "collect" {
+                if turbofish.contains("BTree") || stmt_text.contains("BTree") {
+                    return true;
+                }
+                // `let NAME … = ….collect();` followed by `NAME.sort…` in
+                // the same block: the PR-4 cancellation pattern.
+                let name = if stmt_text.starts_with("let ") {
+                    scan_let_name(stmt_text)
+                } else {
+                    None
+                };
+                if let Some(name) = name {
+                    let sorted = later
+                        .iter()
+                        .any(|t| t.starts_with(&format!("{name} . sort")));
+                    if sorted {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            return false; // unknown terminal: order-sensitivity unproven
+        }
+    }
+
+    // -- R7 ---------------------------------------------------------------
+
+    fn check_sub(&mut self, s: &[S], stmt_text: &str) {
+        if stmt_text.contains("checked_sub") || stmt_text.contains("saturating_sub") {
+            return;
+        }
+        for i in 0..s.len() {
+            let sub_assign = s[i].t == "-=";
+            // The `x = x - y` spelling of the same unchecked subtraction.
+            let reassign = s[i].t == "=" && {
+                let (chain, deref) = chain_back(s, i);
+                !chain.is_empty() && rhs_repeats_lvalue(s, i, &chain, deref)
+            };
+            if !sub_assign && !reassign {
+                continue;
+            }
+            let (chain, deref) = chain_back(s, i);
+            let Some(comp) = chain.last().cloned() else {
+                continue;
+            };
+            let is_counter = if deref {
+                if chain.len() == 1 {
+                    self.lookup_bind(&comp).counter_ref
+                } else {
+                    false
+                }
+            } else if chain.len() >= 2 {
+                self.fidx.lookup(self.path, &comp).counter
+            } else {
+                false // bare locals are not struct accounting state
+            };
+            if !is_counter || self.sub_guarded(&comp) {
+                continue;
+            }
+            self.out.push(Violation {
+                file: self.path.to_string(),
+                line: s[i].line + 1,
+                rule: R7,
+                message: format!(
+                    "unchecked subtraction on unsigned counter `{}`; use checked_sub/saturating_sub \
+                     or precede with a debug_assert naming `{comp}`",
+                    chain.join(".")
+                ),
+            });
+        }
+    }
+
+    /// Whether `comp` is protected by a preceding assert in this or an
+    /// enclosing block, or by an enclosing comparison condition naming it.
+    fn sub_guarded(&self, comp: &str) -> bool {
+        if self.guards.iter().any(|g| g.iter().any(|t| t == comp)) {
+            return true;
+        }
+        self.conds.iter().any(|c| {
+            c.iter().any(|t| t == comp)
+                && c.iter().any(|t| {
+                    matches!(t.as_str(), ">" | ">=" | "!=" | "<" | "<=") || t == "checked_sub"
+                })
+        })
+    }
+}
+
+/// The bound name of a flattened `let` statement text
+/// (`let mut kuids : … = …`).
+fn scan_let_name(text: &str) -> Option<String> {
+    let mut words = text.split_whitespace();
+    let _let = words.next()?;
+    let mut w = words.next()?;
+    if w == "mut" {
+        w = words.next()?;
+    }
+    let name: String = w
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Whether the tokens after the `=` at `eq` repeat the lvalue chain and then
+/// subtract (`self.len = self.len - 1`).
+fn rhs_repeats_lvalue(s: &[S], eq: usize, chain: &[String], deref: bool) -> bool {
+    let mut expect: Vec<String> = Vec::new();
+    if deref {
+        expect.push("*".into());
+    }
+    for (k, c) in chain.iter().enumerate() {
+        if k > 0 {
+            expect.push(".".into());
+        }
+        expect.push(c.clone());
+    }
+    expect.push("-".into());
+    s[eq + 1..]
+        .iter()
+        .take(expect.len())
+        .map(|t| t.t.as_str())
+        .eq(expect.iter().map(String::as_str))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::items::{collect_items, Items};
+    use crate::analysis::tree::parse;
+    use crate::lint::tokenize;
+
+    fn analyze_snippet(path: &str, src: &str) -> Vec<Violation> {
+        let lines = tokenize(src);
+        let trees = parse(&lines);
+        let mut items = Items::default();
+        collect_items(&trees, false, &mut items);
+        let mut fidx = FieldIndex::default();
+        fidx.add_structs(path, &items.structs);
+        let scope = scope_of(path);
+        let mut out = Vec::new();
+        let toks = crate::analysis::tree::lex(&lines);
+        let mask = crate::lint::test_mask(&lines);
+        token_rules(path, &lines, &toks, &mask, scope, &mut out);
+        for f in &items.fns {
+            if f.in_test {
+                continue;
+            }
+            if let Some(body) = f.body {
+                let mut w = FnWalker::new(path, &fidx, scope, &mut out);
+                w.walk_fn(f.params, body);
+            }
+        }
+        out
+    }
+
+    const SCHED: &str = "crates/core/src/sched.rs";
+
+    #[test]
+    fn r6_flags_for_loop_over_hashmap_field() {
+        let src = "struct S { clients: HashMap<u32, St> }\n\
+            impl S {\n    fn pick(&self) {\n        for (c, s) in &self.clients { use_it(c, s); }\n    }\n}\n";
+        let v = analyze_snippet(SCHED, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R6);
+        assert!(v[0].message.contains("clients"));
+    }
+
+    #[test]
+    fn r6_btreemap_field_is_clean() {
+        let src = "struct S { clients: BTreeMap<u32, St> }\n\
+            impl S {\n    fn pick(&self) {\n        for (c, s) in &self.clients { use_it(c, s); }\n    }\n}\n";
+        assert!(analyze_snippet(SCHED, src).is_empty());
+    }
+
+    #[test]
+    fn r6_count_and_integer_sum_escape() {
+        let src = "struct S { clients: HashMap<u32, St> }\n\
+            impl S {\n    fn n(&self) -> usize {\n        let a = self.clients.iter().filter(|x| x.ok()).count();\n        let b: u64 = self.clients.values().map(|s| s.n).sum::<u64>();\n        a + b as usize\n    }\n}\n";
+        assert!(analyze_snippet(SCHED, src).is_empty());
+    }
+
+    #[test]
+    fn r6_float_sum_is_flagged() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn w(&self) -> f64 {\n        self.jobs.values().map(|j| j.w).sum::<f64>()\n    }\n}\n";
+        let v = analyze_snippet(SCHED, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R6);
+    }
+
+    #[test]
+    fn r6_collect_then_sort_escapes_and_unsorted_does_not() {
+        let sorted = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn c(&mut self) {\n        let mut ids: Vec<u64> = self.jobs.keys().copied().collect();\n        ids.sort_unstable();\n        for id in ids { self.kill(id); }\n    }\n}\n";
+        assert!(analyze_snippet(SCHED, sorted).is_empty());
+        let unsorted = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn c(&mut self) {\n        let mut ids: Vec<u64> = self.jobs.keys().copied().collect();\n        for id in ids { self.kill(id); }\n    }\n}\n";
+        let v = analyze_snippet(SCHED, unsorted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R6);
+    }
+
+    #[test]
+    fn r6_collect_into_btreemap_escapes() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn c(&self) -> BTreeMap<u64, u32> {\n        self.jobs.iter().map(|(k, v)| (*k, v.n)).collect::<BTreeMap<u64, u32>>()\n    }\n}\n";
+        assert!(analyze_snippet(SCHED, src).is_empty());
+    }
+
+    #[test]
+    fn r6_retain_always_flags() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn c(&mut self, id: u64) {\n        self.jobs.retain(|_, j| j.id != id);\n    }\n}\n";
+        let v = analyze_snippet(SCHED, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r6_binding_alias_of_hash_field_is_tracked() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn c(&self) {\n        let m = &self.jobs;\n        for j in m.values() { go(j); }\n    }\n}\n";
+        let v = analyze_snippet(SCHED, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r6_vec_receiver_is_clean() {
+        let src = "struct S { nodes: Vec<N> }\n\
+            impl S {\n    fn c(&self) -> f64 {\n        self.nodes.iter().map(|n| n.w).sum::<f64>()\n    }\n}\n";
+        assert!(analyze_snippet(SCHED, src).is_empty());
+    }
+
+    #[test]
+    fn r6_outside_decision_scope_is_ignored() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            impl S {\n    fn w(&self) -> f64 { self.jobs.values().map(|j| j.w).sum::<f64>() }\n}\n";
+        assert!(analyze_snippet("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_test_fns_are_exempt() {
+        let src = "struct S { jobs: HashMap<u64, J> }\n\
+            #[cfg(test)]\nmod tests {\n    fn t(s: &S) { for j in s.jobs.values() { go(j); } }\n}\n";
+        // The field index sees `jobs`, but the fn is test-gated.
+        assert!(analyze_snippet(SCHED, src).is_empty());
+    }
+
+    const DISP: &str = "crates/core/src/dispatcher.rs";
+
+    #[test]
+    fn r7_flags_bare_counter_sub() {
+        let src = "struct S { outstanding: u64 }\n\
+            impl S {\n    fn f(&mut self) {\n        self.outstanding -= 1;\n    }\n}\n";
+        let v: Vec<_> = analyze_snippet(DISP, src)
+            .into_iter()
+            .filter(|v| v.rule == R7)
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("outstanding"));
+    }
+
+    #[test]
+    fn r7_debug_assert_before_sub_exempts() {
+        let src = "struct S { outstanding: u64 }\n\
+            impl S {\n    fn f(&mut self) {\n        debug_assert!(self.outstanding >= 1, \"underflow\");\n        self.outstanding -= 1;\n    }\n}\n";
+        assert!(analyze_snippet(DISP, src).iter().all(|v| v.rule != R7));
+    }
+
+    #[test]
+    fn r7_comparison_condition_exempts() {
+        let src = "struct S { reserved: HashMap<u32, u64> }\n\
+            impl S {\n    fn f(&mut self, k: u32) {\n        if let Some(r) = self.reserved.get_mut(&k) {\n            if *r > 0 {\n                *r -= 1;\n            }\n        }\n    }\n}\n";
+        assert!(analyze_snippet(DISP, src).iter().all(|v| v.rule != R7));
+    }
+
+    #[test]
+    fn r7_deref_of_counter_map_entry_is_flagged() {
+        let src = "struct S { client_inflight: HashMap<u32, u64> }\n\
+            impl S {\n    fn f(&mut self, c: u32) {\n        if let Some(n) = self.client_inflight.get_mut(&c) {\n            *n -= 1;\n        }\n    }\n}\n";
+        let v: Vec<_> = analyze_snippet(DISP, src)
+            .into_iter()
+            .filter(|v| v.rule == R7)
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r7_float_and_local_subs_are_exempt() {
+        let src = "struct S { work_us: f64 }\n\
+            impl S {\n    fn f(&mut self, d: f64) {\n        self.work_us -= d;\n        let mut left = 3;\n        left -= 1;\n        go(left);\n    }\n}\n";
+        assert!(analyze_snippet(DISP, src).iter().all(|v| v.rule != R7));
+    }
+
+    #[test]
+    fn r7_reassign_spelling_is_flagged() {
+        let src = "struct S { len: usize }\n\
+            impl S {\n    fn f(&mut self) {\n        self.len = self.len - 1;\n    }\n}\n";
+        let v: Vec<_> = analyze_snippet(DISP, src)
+            .into_iter()
+            .filter(|v| v.rule == R7)
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    const CHAN: &str = "crates/channels/src/spsc.rs";
+
+    #[test]
+    fn r8_untagged_acquire_is_flagged_and_tagged_is_clean() {
+        let bad = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Acquire) }\n";
+        let v = analyze_snippet(CHAN, bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R8);
+        let good = "fn f(a: &AtomicU64) -> u64 {\n    // acquire: pairs with the tail store\n    a.load(Ordering::Acquire)\n}\n";
+        assert!(analyze_snippet(CHAN, good).is_empty());
+    }
+
+    #[test]
+    fn r8_checks_each_ordering_of_compare_exchange() {
+        let src = "fn f(a: &AtomicU64) {\n    // acqrel: justification for the success half only\n    let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n}\n";
+        let v = analyze_snippet(CHAN, src);
+        assert_eq!(v.len(), 1, "only the Acquire half is untagged: {v:?}");
+        assert!(v[0].message.contains("Acquire"));
+    }
+
+    #[test]
+    fn r8_relaxed_in_channels_is_r2_territory() {
+        let src = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n";
+        let v = analyze_snippet(CHAN, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "relaxed-needs-justification");
+    }
+
+    #[test]
+    fn r8_non_atomic_load_is_ignored() {
+        let src = "fn f(c: &Cache) -> u64 { c.load(7) }\n";
+        assert!(analyze_snippet(CHAN, src).is_empty());
+    }
+
+    #[test]
+    fn r9_partial_cmp_unwrap_flagged_and_total_cmp_clean() {
+        let path = "crates/sim/src/stats.rs";
+        let bad = "fn sort(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let v = analyze_snippet(path, bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R9);
+        let good = "fn sort(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n";
+        assert!(analyze_snippet(path, good).is_empty());
+    }
+
+    #[test]
+    fn r9_partial_ord_impl_is_not_flagged() {
+        let path = "crates/sim/src/event.rs";
+        let src = "impl PartialOrd for K {\n    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\n";
+        assert!(analyze_snippet(path, src).is_empty());
+    }
+
+    #[test]
+    fn r9_max_by_with_unwrap_or_is_flagged() {
+        let path = "crates/core/src/sched.rs";
+        let src = "fn pick(v: &[f64]) -> Option<&f64> {\n    v.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))\n}\n";
+        let v = analyze_snippet(path, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R9);
+    }
+
+    #[test]
+    fn r6_random_state_is_flagged() {
+        let src = "fn f() { let h = RandomState::new(); go(h); }\n";
+        let v = analyze_snippet(SCHED, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, R6);
+    }
+}

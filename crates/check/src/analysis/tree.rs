@@ -1,0 +1,449 @@
+//! Lexer and brace-aware token trees for the [`crate::analysis`] engine.
+//!
+//! The engine works in three layers:
+//!
+//! 1. the comment/string-aware line tokenizer shared with [`crate::lint`]
+//!    blanks literals and splits comments from code, so a pattern inside a
+//!    string can never trip a rule;
+//! 2. [`lex`] turns each blanked code line into [`Tok`]s — identifiers and
+//!    punctuation, with a small set of fused multi-char operators (`::`,
+//!    `-=`, `=>`, …) so rules match on operators, not character pairs;
+//! 3. [`build_trees`] nests the token stream by `{}`/`()`/`[]` delimiters
+//!    into [`Tree`]s, giving every rule a real notion of scope, argument
+//!    list, and body.
+//!
+//! On top of the trees, [`split_stmts`] cuts a brace group's children into
+//! statements (at `;` leaves and top-level `{}` groups), which is what the
+//! dataflow-lite passes (collected-and-sorted escapes, `debug_assert`
+//! guards, binding scopes) iterate over.
+
+use crate::lint::Line;
+
+/// One lexical token: an identifier/number or a punctuation string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text (identifiers verbatim; operators possibly fused).
+    pub text: String,
+    /// 0-based source line.
+    pub line: usize,
+    /// Whether this is an identifier/number token.
+    pub ident: bool,
+}
+
+/// A token tree: a leaf token or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A single token.
+    Leaf(Tok),
+    /// A `{…}`, `(…)`, or `[…]` group.
+    Group {
+        /// Opening delimiter: `'{'`, `'('`, or `'['`.
+        delim: char,
+        /// 0-based line of the opening delimiter.
+        open_line: usize,
+        /// Nested trees.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The first source line of this tree.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { open_line, .. } => *open_line,
+        }
+    }
+
+    /// Leaf text, if this is a leaf.
+    pub fn leaf(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) => Some(&t.text),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// Whether this is a leaf with exactly this text.
+    pub fn is(&self, text: &str) -> bool {
+        self.leaf() == Some(text)
+    }
+}
+
+/// Multi-char operators fused into single tokens, longest first. `>>`/`<<`
+/// are deliberately absent: they would swallow nested-generic closers like
+/// `Vec<Vec<u8>>`.
+const FUSED: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "-=", "+=", "*=", "/=", "%=", "==", "!=", ">=", "<=",
+    "&&", "||", "..", "&=", "|=", "^=",
+];
+
+/// Lexes blanked code lines into a flat token stream.
+pub(crate) fn lex(lines: &[Line]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (ln, l) in lines.iter().enumerate() {
+        let chars: Vec<char> = l.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: ln,
+                    ident: true,
+                });
+                continue;
+            }
+            // Fused operators: longest match wins.
+            let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+            if let Some(op) = FUSED.iter().find(|op| rest.starts_with(**op)) {
+                out.push(Tok {
+                    text: (*op).to_string(),
+                    line: ln,
+                    ident: false,
+                });
+                i += op.len();
+                continue;
+            }
+            out.push(Tok {
+                text: c.to_string(),
+                line: ln,
+                ident: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Nests a token stream into trees by `{}`/`()`/`[]`. Tolerant of
+/// imbalance: a stray closer is dropped, an unclosed group is closed at
+/// end of input — the analyzer must never panic on in-progress code.
+pub fn build_trees(toks: Vec<Tok>) -> Vec<Tree> {
+    let mut stack: Vec<(char, usize, Vec<Tree>)> = Vec::new();
+    let mut cur: Vec<Tree> = Vec::new();
+    for t in toks {
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                let delim = t.text.chars().next().unwrap_or('{');
+                stack.push((delim, t.line, std::mem::take(&mut cur)));
+            }
+            "}" | ")" | "]" => {
+                if let Some((delim, open_line, parent)) = stack.pop() {
+                    let group = Tree::Group {
+                        delim,
+                        open_line,
+                        children: std::mem::replace(&mut cur, parent),
+                    };
+                    cur.push(group);
+                }
+                // Stray closer with empty stack: drop it.
+            }
+            _ => cur.push(Tree::Leaf(t)),
+        }
+    }
+    while let Some((delim, open_line, parent)) = stack.pop() {
+        let group = Tree::Group {
+            delim,
+            open_line,
+            children: std::mem::replace(&mut cur, parent),
+        };
+        cur.push(group);
+    }
+    cur
+}
+
+/// Parses a source file (already line-tokenized) into token trees.
+pub(crate) fn parse(lines: &[Line]) -> Vec<Tree> {
+    build_trees(lex(lines))
+}
+
+/// Flattens trees into a canonical space-separated text (groups rendered
+/// with their delimiters), used for cheap containment checks.
+pub fn flat(trees: &[Tree]) -> String {
+    let mut s = String::new();
+    flat_into(trees, &mut s);
+    s
+}
+
+fn flat_into(trees: &[Tree], s: &mut String) {
+    for t in trees {
+        if !s.is_empty() && !s.ends_with(' ') {
+            s.push(' ');
+        }
+        match t {
+            Tree::Leaf(tok) => s.push_str(&tok.text),
+            Tree::Group {
+                delim, children, ..
+            } => {
+                let (open, close) = match delim {
+                    '(' => ('(', ')'),
+                    '[' => ('[', ']'),
+                    _ => ('{', '}'),
+                };
+                s.push(open);
+                flat_into(children, s);
+                if !s.ends_with(' ') {
+                    s.push(' ');
+                }
+                s.push(close);
+            }
+        }
+    }
+}
+
+/// One statement of a brace group: a slice of the group's children.
+#[derive(Debug)]
+pub struct Stmt<'a> {
+    /// The statement's trees (including any trailing `;` or block).
+    pub trees: &'a [Tree],
+    /// Canonical flattened text (see [`flat`]).
+    pub text: String,
+}
+
+impl Stmt<'_> {
+    /// First source line of the statement (0-based); 0 if empty.
+    pub fn line(&self) -> usize {
+        self.trees.first().map_or(0, Tree::line)
+    }
+}
+
+/// Splits a group's children into statements. A statement ends after a `;`
+/// leaf or after a top-level `{}` group (control-flow blocks, item bodies).
+/// Brace groups nested inside `(...)` (closure bodies in arguments) do not
+/// split the enclosing statement.
+pub fn split_stmts(children: &[Tree]) -> Vec<Stmt<'_>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in children.iter().enumerate() {
+        let ends = match t {
+            Tree::Leaf(tok) => tok.text == ";",
+            Tree::Group { delim, .. } => *delim == '{',
+        };
+        if ends {
+            let trees = &children[start..=i];
+            out.push(Stmt {
+                trees,
+                text: flat(trees),
+            });
+            start = i + 1;
+        }
+    }
+    if start < children.len() {
+        let trees = &children[start..];
+        out.push(Stmt {
+            trees,
+            text: flat(trees),
+        });
+    }
+    out
+}
+
+/// Linearized token with group boundaries preserved, for pattern scans that
+/// need to look across call parentheses (receiver and chain resolution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LTok {
+    /// An ordinary token.
+    T(Tok),
+    /// A group opener: `(`, `[`, or `{`.
+    Open(char, usize),
+    /// A group closer, tagged with its opener.
+    Close(char, usize),
+}
+
+impl LTok {
+    /// Token text (`(`/`[`/`{` and `)`/`]`/`}` for boundaries).
+    pub fn text(&self) -> &str {
+        match self {
+            LTok::T(t) => &t.text,
+            LTok::Open('(', _) => "(",
+            LTok::Open('[', _) => "[",
+            LTok::Open(..) => "{",
+            LTok::Close('(', _) => ")",
+            LTok::Close('[', _) => "]",
+            LTok::Close(..) => "}",
+        }
+    }
+
+    /// 0-based source line.
+    pub fn line(&self) -> usize {
+        match self {
+            LTok::T(t) => t.line,
+            LTok::Open(_, l) | LTok::Close(_, l) => *l,
+        }
+    }
+}
+
+/// Linearizes trees depth-first, keeping group boundaries. When
+/// `skip_braces` is set, `{}` groups are emitted as boundaries but their
+/// contents are omitted — statement-header scans use this so a control
+/// block's body (walked separately) cannot leak into the header pattern.
+pub fn linearize(trees: &[Tree], skip_braces: bool, out: &mut Vec<LTok>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(LTok::T(tok.clone())),
+            Tree::Group {
+                delim,
+                open_line,
+                children,
+            } => {
+                out.push(LTok::Open(*delim, *open_line));
+                if !(skip_braces && *delim == '{') {
+                    linearize(children, skip_braces, out);
+                }
+                out.push(LTok::Close(*delim, *open_line));
+            }
+        }
+    }
+}
+
+/// Index of the matching `Close` for the `Open` at `open_idx` (same
+/// nesting level), or the end of the list if unbalanced.
+pub fn matching_close(l: &[LTok], open_idx: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in l.iter().enumerate().skip(open_idx) {
+        match t {
+            LTok::Open(..) => depth += 1,
+            LTok::Close(..) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            LTok::T(_) => {}
+        }
+    }
+    l.len().saturating_sub(1)
+}
+
+/// Index of the matching `Open` for the `Close` at `close_idx`, or 0.
+pub fn matching_open(l: &[LTok], close_idx: usize) -> usize {
+    let mut depth = 0usize;
+    for i in (0..=close_idx).rev() {
+        match &l[i] {
+            LTok::Close(..) => depth += 1,
+            LTok::Open(..) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            LTok::T(_) => {}
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::tokenize;
+
+    fn parse_src(src: &str) -> Vec<Tree> {
+        parse(&tokenize(src))
+    }
+
+    #[test]
+    fn fused_operators_lex_as_single_tokens() {
+        let toks = lex(&tokenize("a -= b; c::d => e == f\n"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["a", "-=", "b", ";", "c", "::", "d", "=>", "e", "==", "f"]
+        );
+    }
+
+    #[test]
+    fn nested_generics_do_not_fuse_shift() {
+        let toks = lex(&tokenize("let x: Vec<Vec<u8>> = v;\n"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&">"), "closers stay single: {texts:?}");
+        assert!(!texts.contains(&">>"));
+    }
+
+    #[test]
+    fn groups_nest() {
+        let trees = parse_src("fn f(a: u8) { g(a); }\n");
+        let f = flat(&trees);
+        assert_eq!(f, "fn f ( a : u8 ) { g ( a ) ; }");
+    }
+
+    #[test]
+    fn tolerates_imbalance() {
+        // Unclosed group and stray closer must not panic or drop trailing
+        // tokens.
+        let trees = parse_src("} fn f() { let x = (1;\n");
+        assert!(flat(&trees).contains("let x"));
+    }
+
+    #[test]
+    fn raw_strings_and_literals_are_opaque() {
+        let trees = parse_src("let s = r#\"HashMap { } ) \"#; h();\n");
+        let f = flat(&trees);
+        assert!(!f.contains("HashMap"), "literal contents blanked: {f}");
+        assert!(f.contains("h ( )"), "code after the literal survives: {f}");
+    }
+
+    #[test]
+    fn statements_split_on_semicolon_and_blocks() {
+        let trees = parse_src("{ let a = 1; if x { y(); } let b = 2; }\n");
+        let Tree::Group { children, .. } = &trees[0] else {
+            panic!("expected group");
+        };
+        let stmts = split_stmts(children);
+        assert_eq!(stmts.len(), 3, "{stmts:?}");
+        assert!(stmts[0].text.contains("let a"));
+        assert!(stmts[1].text.starts_with("if x"));
+        assert!(stmts[2].text.contains("let b"));
+    }
+
+    #[test]
+    fn closure_braces_in_args_do_not_split() {
+        let trees = parse_src("{ v.iter().map(|x| { x + 1 }).count(); done(); }\n");
+        let Tree::Group { children, .. } = &trees[0] else {
+            panic!("expected group");
+        };
+        let stmts = split_stmts(children);
+        assert_eq!(stmts.len(), 2, "{stmts:?}");
+    }
+
+    #[test]
+    fn match_guards_parse_into_arm_statements() {
+        // A match with guards: the arms live inside one brace group; the
+        // guard expression stays on the arm's line.
+        let src = "match x { Some(v) if v > 0 => a(), None => b(), _ => c() }\n";
+        let trees = parse_src(src);
+        let f = flat(&trees);
+        assert!(f.contains("if v > 0 =>"));
+    }
+
+    #[test]
+    fn linearize_skips_brace_bodies_when_asked() {
+        let trees = parse_src("if a.b(c) { hidden(); }\n");
+        let mut l = Vec::new();
+        linearize(&trees, true, &mut l);
+        let texts: Vec<&str> = l.iter().map(LTok::text).collect();
+        assert!(texts.contains(&"c"));
+        assert!(!texts.contains(&"hidden"));
+        assert!(texts.contains(&"{") && texts.contains(&"}"));
+    }
+
+    #[test]
+    fn matching_close_and_open() {
+        let trees = parse_src("f(a, g(b), c)\n");
+        let mut l = Vec::new();
+        linearize(&trees, false, &mut l);
+        // l: f ( a , g ( b ) , c )
+        let first_open = l.iter().position(|t| t.text() == "(").unwrap();
+        let close = matching_close(&l, first_open);
+        assert_eq!(close, l.len() - 1);
+        assert_eq!(matching_open(&l, close), first_open);
+    }
+}

@@ -58,10 +58,14 @@ impl std::fmt::Display for Violation {
 
 /// One source line after tokenization: executable text with comments and
 /// literal contents blanked, plus the concatenated comment text.
+///
+/// Shared with the [`crate::analysis`] engine, which lexes its token trees
+/// from the blanked `code` text so both passes agree on what is and is not
+/// executable source.
 #[derive(Clone, Debug, Default)]
-struct Line {
-    code: String,
-    comment: String,
+pub(crate) struct Line {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// Splits `content` into [`Line`]s, tracking block comments (nested), line
@@ -69,7 +73,7 @@ struct Line {
 /// Literal *contents* are blanked so a pattern inside a string never
 /// triggers a rule; comment text is collected separately so justification
 /// tags can be searched.
-fn tokenize(content: &str) -> Vec<Line> {
+pub(crate) fn tokenize(content: &str) -> Vec<Line> {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -232,7 +236,7 @@ fn tokenize(content: &str) -> Vec<Line> {
 
 /// Marks the lines belonging to `#[cfg(test)]` items by brace counting from
 /// the attribute to the close of the item it gates.
-fn test_mask(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn test_mask(lines: &[Line]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -274,7 +278,7 @@ fn test_mask(lines: &[Line]) -> Vec<bool> {
 /// tolerates the statement's own leading lines (a multi-line expression has
 /// no `;`, `{`, or `}` before the flagged line) and stops at the first line
 /// that ends an earlier statement or is blank.
-fn justified(lines: &[Line], idx: usize, tag: &str) -> bool {
+pub(crate) fn justified(lines: &[Line], idx: usize, tag: &str) -> bool {
     if lines[idx].comment.contains(tag) {
         return true;
     }
@@ -530,7 +534,7 @@ pub fn trace_event_exhaustiveness(event_src: &str, export_src: &str) -> Vec<Viol
 }
 
 /// Recursively collects `.rs` files under `dir`.
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {

@@ -1,23 +1,31 @@
 //! The `paella-check` CI gate.
 //!
 //! ```text
-//! paella-check [all|lint|model|mutate] [--root <workspace-root>]
+//! paella-check [all|lint|analyze|selftest|model|mutate] [--root <workspace-root>]
 //! ```
 //!
-//! * `lint`   — run the custom source lints over `crates/*/src`.
-//! * `model`  — exhaustively model-check the clean channel models.
-//! * `mutate` — run the seeded-mutant corpus; every mutant must be caught.
-//! * `all`    — all of the above (the default).
+//! * `lint`     — run the custom source lints over `crates/*/src`.
+//! * `analyze`  — run the syntax-aware dataflow rules (R1–R9) with the
+//!   `crates/check/analyze.allow` allowlist; stale or unsorted allowlist
+//!   entries fail the run.
+//! * `selftest` — graft every analyzer mutant into the real sources and
+//!   require its rule to fire (the analyzer's own mutation test).
+//! * `model`    — exhaustively model-check the clean channel models.
+//! * `mutate`   — run the seeded-mutant corpus; every mutant must be caught.
+//! * `all`      — all of the above (the default).
 //!
 //! Exits 0 only if every selected stage is fully green.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use paella_check::analysis::{self, selftest};
 use paella_check::{clean_models, lint, mutants};
 
 fn usage() -> ! {
-    eprintln!("usage: paella-check [all|lint|model|mutate] [--root <workspace-root>]");
+    eprintln!(
+        "usage: paella-check [all|lint|analyze|selftest|model|mutate] [--root <workspace-root>]"
+    );
     std::process::exit(2);
 }
 
@@ -60,6 +68,47 @@ fn run_lint(root: &Path) -> bool {
         if violations.len() == 1 { "" } else { "s" }
     );
     violations.is_empty()
+}
+
+fn run_analyze(root: &Path) -> bool {
+    println!("== analyze: syntax-aware dataflow rules R1–R9 ==");
+    match analysis::analyze(root) {
+        Ok(a) => {
+            println!("{a}");
+            a.ok()
+        }
+        Err(e) => {
+            eprintln!("analyze walk failed: {e}");
+            false
+        }
+    }
+}
+
+fn run_selftest(root: &Path) -> bool {
+    println!("== analyzer self-test: grafted mutants must be caught ==");
+    let outcomes = match selftest::run(root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("selftest walk failed: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for o in &outcomes {
+        match &o.failure {
+            None => println!("  caught   {}", o.id),
+            Some(why) => {
+                ok = false;
+                println!("  ESCAPED  {} — {why}", o.id);
+            }
+        }
+    }
+    println!(
+        "selftest: {}/{} mutants caught",
+        outcomes.iter().filter(|o| o.failure.is_none()).count(),
+        outcomes.len()
+    );
+    ok
 }
 
 fn run_models() -> bool {
@@ -119,7 +168,7 @@ fn main() -> ExitCode {
     let mut root = None;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "all" | "lint" | "model" | "mutate" => cmd = a,
+            "all" | "lint" | "analyze" | "selftest" | "model" | "mutate" => cmd = a,
             "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
@@ -129,6 +178,12 @@ fn main() -> ExitCode {
     let mut ok = true;
     if cmd == "all" || cmd == "lint" {
         ok &= run_lint(&root);
+    }
+    if cmd == "all" || cmd == "analyze" {
+        ok &= run_analyze(&root);
+    }
+    if cmd == "all" || cmd == "selftest" {
+        ok &= run_selftest(&root);
     }
     if cmd == "all" || cmd == "model" {
         ok &= run_models();

@@ -630,12 +630,17 @@ impl Dispatcher {
     /// From-scratch recomputation of the in-flight remaining-work sum, in
     /// microseconds: the O(in-flight jobs) scan `load_signal` used to do.
     /// Kept as the verification oracle for the incremental aggregate (the
-    /// two are equal up to float-summation-order rounding).
+    /// two are equal up to float-summation-order rounding). Summed in
+    /// job-id order: float addition doesn't commute exactly, so summing in
+    /// `jobs`' seeded-hash order would make the oracle itself vary across
+    /// processes (R6).
     #[doc(hidden)]
     pub fn inflight_work_scratch_us(&self) -> f64 {
-        self.jobs
-            .values()
-            .map(|job| {
+        let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| {
+                let job = &self.jobs[id];
                 let idx = job.request.model.0 as usize;
                 self.models[idx]
                     .profile
@@ -1460,6 +1465,10 @@ impl Dispatcher {
                 if let Some(r) = self.notifq_reserved.get_mut(&kuid) {
                     if *r > 0 {
                         *r -= 1;
+                        debug_assert!(
+                            self.notifq_outstanding >= 1,
+                            "notifq_outstanding underflow: reservation held with zero outstanding"
+                        );
                         self.notifq_outstanding -= 1;
                     }
                 }
@@ -1493,6 +1502,10 @@ impl Dispatcher {
             }
             GpuOutput::KernelCompleted { uid, at } => {
                 if let Some(rest) = self.notifq_reserved.remove(&uid) {
+                    debug_assert!(
+                        self.notifq_outstanding >= rest,
+                        "notifq_outstanding underflow: releasing more than reserved"
+                    );
                     self.notifq_outstanding -= rest;
                 }
                 // Reconcile the occupancy mirror: if any of this kernel's
@@ -1584,6 +1597,10 @@ impl Dispatcher {
                 }
             }
             j.waitlist.retire(vs, token);
+            debug_assert!(
+                j.outstanding >= 1,
+                "job outstanding underflow: completion without a dispatch"
+            );
             j.outstanding -= 1;
             j.completed += 1;
         }
@@ -1603,6 +1620,7 @@ impl Dispatcher {
         self.load_remove_job(j.request.model.0 as usize, &j.done_counts);
         self.scheduler.job_done(id);
         if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
+            debug_assert!(*n >= 1, "client_inflight underflow on job finish");
             *n -= 1;
             if *n == 0 {
                 self.client_inflight.remove(&j.request.client);
@@ -1807,6 +1825,10 @@ impl Dispatcher {
         // with max(0, C̄ − done).
         self.dispatch_op(id, token, at, false);
         if let Some(j) = self.jobs.get_mut(&id) {
+            debug_assert!(
+                j.outstanding >= 1,
+                "job outstanding underflow: retry compensation without a dispatch"
+            );
             j.outstanding -= 1;
         }
     }
@@ -1824,6 +1846,7 @@ impl Dispatcher {
         self.load_remove_job(j.request.model.0 as usize, &j.done_counts);
         self.scheduler.job_done(id);
         if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
+            debug_assert!(*n >= 1, "client_inflight underflow on job cancel");
             *n -= 1;
             if *n == 0 {
                 self.client_inflight.remove(&j.request.client);
@@ -1843,6 +1866,10 @@ impl Dispatcher {
             self.kernel_to_job.remove(&uid);
             self.kernel_started.remove(&uid);
             if let Some(rest) = self.notifq_reserved.remove(&uid) {
+                debug_assert!(
+                    self.notifq_outstanding >= rest,
+                    "notifq_outstanding underflow: cancel releasing more than reserved"
+                );
                 self.notifq_outstanding -= rest;
             }
             if self.cfg.instrument {

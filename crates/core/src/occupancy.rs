@@ -107,6 +107,7 @@ impl OccupancyTracker {
                     return;
                 }
                 k.completed += g;
+                debug_assert!(*on_sm >= g, "per-SM block count underflow on completion");
                 *on_sm -= g;
                 self.sms[n.sm_id as usize].release(&k.footprint, g);
                 self.resident_blocks = self.resident_blocks.saturating_sub(u64::from(g));

@@ -258,8 +258,11 @@ pub struct SrptDeficitScheduler {
     threshold: Option<f64>,
     srpt: BTreeMap<(u64, JobId), JobId>,
     srpt_index: HashMap<JobId, (u64, JobId)>,
-    /// Per-client state.
-    clients: HashMap<ClientId, ClientState>,
+    /// Per-client state. A `BTreeMap` so every walk over clients (the
+    /// fairness argmax, the ready-client census) runs in client-id order —
+    /// seeded-hash iteration here made same-seed runs differ across
+    /// processes (R6).
+    clients: BTreeMap<ClientId, ClientState>,
     /// Deficit order: (quantized negative-deficit, client) → client, so the
     /// *highest* deficit sorts first.
     ready_jobs: HashMap<JobId, JobInfo>,
@@ -281,7 +284,7 @@ impl SrptDeficitScheduler {
             threshold,
             srpt: BTreeMap::new(),
             srpt_index: HashMap::new(),
-            clients: HashMap::new(),
+            clients: BTreeMap::new(),
             ready_jobs: HashMap::new(),
             baseline: 0.0,
         }
@@ -298,9 +301,9 @@ impl SrptDeficitScheduler {
 
     /// The client currently over the fairness threshold with the highest
     /// deficit, if any, among clients with ready jobs. Exact-deficit ties
-    /// break on the lower client id: `clients` is a `HashMap` whose
-    /// iteration order is seeded per process, so an order-dependent argmax
-    /// would make same-seed runs differ across processes.
+    /// break on the lower client id, and `clients` is a `BTreeMap`, so the
+    /// argmax visits clients in id order and is deterministic across
+    /// processes regardless of insertion order.
     fn over_threshold_client(&self) -> Option<ClientId> {
         let threshold = self.threshold?;
         let mut best: Option<(f64, ClientId)> = None;
@@ -536,6 +539,38 @@ mod tests {
         // give client 3 an older job too.
         s.job_ready(info(4, 3, 5, 300, 300));
         assert_eq!(s.pick_next(), Some(JobId(4)), "client 3's oldest job");
+    }
+
+    #[test]
+    fn deficit_override_is_insertion_order_invariant() {
+        // The R6 regression for the BTreeMap conversion: the override argmax
+        // walks `clients`, so build the same three-way exact tie with every
+        // permutation of client arrival order and demand identical picks.
+        // With seeded-hash storage this disagreed across processes; a
+        // BTreeMap walk cannot.
+        let perms: [[u32; 3]; 6] = [
+            [2, 5, 9],
+            [2, 9, 5],
+            [5, 2, 9],
+            [5, 9, 2],
+            [9, 2, 5],
+            [9, 5, 2],
+        ];
+        let mut picks = Vec::new();
+        for perm in perms {
+            let mut s = SrptDeficitScheduler::new(Some(-0.5));
+            for (i, &client) in perm.iter().enumerate() {
+                // Job id = client id so the pick identifies the client; all
+                // jobs identical otherwise.
+                s.job_ready(info(u64::from(client), client, 10 + i as u64, 100, 100));
+            }
+            picks.push(s.pick_next());
+        }
+        assert!(
+            picks.iter().all(|&p| p == Some(JobId(2))),
+            "tied override must pick the lowest client id under every \
+             insertion order, got {picks:?}"
+        );
     }
 
     #[test]

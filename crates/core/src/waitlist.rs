@@ -203,6 +203,10 @@ impl Waitlist {
                 }
                 StreamKind::NonBlocking => {}
             }
+            debug_assert!(
+                self.len >= 1 && self.next_seq >= 1,
+                "waitlist len/next_seq underflow rolling back a cyclic push"
+            );
             self.len -= 1;
             self.next_seq -= 1;
             return Err(WaitlistError::DepCycle { token });
@@ -390,6 +394,7 @@ impl Waitlist {
             .position(|e| e.released && e.token == token)
             .expect("retiring an op that was not released");
         q.remove(pos);
+        debug_assert!(self.len >= 1, "waitlist len underflow on retire");
         self.len -= 1;
         if q.is_empty() {
             self.streams.remove(&s);

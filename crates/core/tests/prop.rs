@@ -216,6 +216,52 @@ proptest! {
         prop_assert_eq!(d.inflight_work_incremental_us(), 0.0);
     }
 
+    /// The scratch remaining-work oracle is bit-identical across dispatcher
+    /// instances fed the same work. Each `HashMap` instance draws its own
+    /// hash seed, so before the R6 fix the oracle summed jobs in
+    /// per-instance order and two identical dispatchers could disagree in
+    /// the low float bits; the sorted-key walk makes the sum order (and so
+    /// the bits) a pure function of the workload.
+    #[test]
+    fn scratch_work_oracle_is_instance_order_invariant(
+        seed in any::<u64>(),
+        reqs in proptest::collection::vec((0u32..4, 0u64..300), 2..30),
+        steps in 1usize..40,
+    ) {
+        let run = || {
+            let mut d = paella_core::Dispatcher::new(
+                paella_gpu::DeviceConfig::tesla_t4(),
+                paella_channels::ChannelConfig::default(),
+                Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+                paella_core::DispatcherConfig::paella(),
+                seed,
+            );
+            let model = d.register_model(&paella_models::synthetic::fig2_job());
+            let mut at = SimTime::ZERO;
+            for &(client, gap) in &reqs {
+                at = at.saturating_add(SimDuration::from_micros(gap));
+                d.submit(paella_core::InferenceRequest {
+                    client: ClientId(client),
+                    model,
+                    submitted_at: at,
+                });
+            }
+            for _ in 0..steps {
+                let Some(t) = d.next_event_time() else { break };
+                d.advance_until(t);
+            }
+            d.inflight_work_scratch_us()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "scratch oracle diverged across instances: {} vs {}",
+            a,
+            b
+        );
+    }
+
     /// SRPT picks the minimum-remaining ready job when fairness is off.
     #[test]
     fn srpt_picks_minimum(

@@ -517,6 +517,13 @@ impl GpuSim {
             }
             let group = fit.min(unplaced);
             self.sms[smi].allocate(&fp, group, &self.cfg.sm_limits);
+            debug_assert!(
+                self.free_slots >= u64::from(group)
+                    && self.free_threads >= u64::from(group) * u64::from(fp.threads)
+                    && self.free_regs >= u64::from(group) * u64::from(fp.registers())
+                    && self.free_shmem >= u64::from(group) * u64::from(fp.shmem),
+                "free-resource gauge underflow: fit_count over-reported"
+            );
             self.free_slots -= u64::from(group);
             self.free_threads -= u64::from(group) * u64::from(fp.threads);
             self.free_regs -= u64::from(group) * u64::from(fp.registers());
@@ -556,6 +563,10 @@ impl GpuSim {
 
         let wave = {
             let k = self.kernels.get_mut(&uid).expect("placing unknown kernel");
+            debug_assert!(
+                k.unplaced >= placed,
+                "kernel unplaced underflow: wave placed more than remained"
+            );
             k.unplaced -= placed;
             k.running += placed;
             let wave = k.waves;
@@ -654,6 +665,10 @@ impl GpuSim {
         self.free_regs += u64::from(blocks) * u64::from(fp.registers());
         self.free_shmem += u64::from(blocks) * u64::from(fp.shmem);
         self.account_occupancy(at);
+        debug_assert!(
+            self.resident_blocks >= u64::from(blocks),
+            "resident_blocks underflow: finishing blocks that never placed"
+        );
         self.resident_blocks -= u64::from(blocks);
 
         if self.trace.is_some() {
@@ -685,6 +700,10 @@ impl GpuSim {
                 .kernels
                 .get_mut(&uid)
                 .expect("finish for unknown kernel");
+            debug_assert!(
+                k.running >= blocks,
+                "kernel running underflow: more blocks finished than ran"
+            );
             k.running -= blocks;
             k.finished_blocks += blocks;
             k.finished_blocks == k.launch.desc.grid_blocks && k.running == 0 && k.unplaced == 0

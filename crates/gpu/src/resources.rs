@@ -116,6 +116,12 @@ impl SmUsage {
     /// bug in the caller.
     pub fn release(&mut self, fp: &BlockFootprint, n: u32) {
         assert!(self.blocks >= n, "releasing more blocks than resident");
+        debug_assert!(
+            self.threads >= n * fp.threads
+                && self.registers >= n * fp.registers()
+                && self.shmem >= n * fp.shmem,
+            "per-resource underflow: release footprint exceeds residency"
+        );
         self.blocks -= n;
         self.threads -= n * fp.threads;
         self.registers -= n * fp.registers();

@@ -133,8 +133,10 @@ impl Percentiles {
 
     fn sort(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp rather than partial_cmp: quantiles must stay total
+            // (and deterministic) even if a NaN ever slips into the samples,
+            // instead of panicking mid-report (R9).
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -144,7 +146,8 @@ impl Percentiles {
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]` or any sample was NaN.
+    /// Panics if `q` is outside `[0, 1]`. NaN samples sort last
+    /// (`total_cmp` order) rather than panicking.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.samples.is_empty() {

@@ -196,7 +196,7 @@ mod tests {
                 .windows(2)
                 .map(|w| (w[1].at - w[0].at).as_micros_f64())
                 .collect();
-            gs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            gs.sort_by(f64::total_cmp);
             // p99 / median as a dispersion measure.
             gs[(gs.len() * 99) / 100] / gs[gs.len() / 2].max(1e-9)
         };
