@@ -1,0 +1,77 @@
+//! LLM figure: TTFT and TPOT tails per iteration-formation policy for
+//! autoregressive chat traffic under a KV-cache budget and a Zipf-skewed
+//! tenant mix.
+//!
+//! The comparison is the paper's SRPT-with-deficit dispatcher policy
+//! (lifted to token granularity, batch-of-1 decode) against Orca-style
+//! iteration-level continuous batching on the identical sampled workload.
+//! Continuous batching amortizes the fixed per-decode-step cost across the
+//! co-batched sequences, so its inter-token gaps (TPOT) collapse while
+//! TTFT stays in the same band.
+//!
+//! `--smoke` runs exactly the committed smoke configuration (the one the
+//! integration tests pin): 600 requests at 350 req/s, 8 Zipf(1.1) tenants,
+//! a 96-page KV pool, both policies. Same seed ⇒ bit-identical output.
+
+use paella_bench::{header, row, scaled};
+use paella_llm::LlmPolicy;
+use paella_workload::{run_llm_point, LlmExpSpec};
+
+const POLICIES: [LlmPolicy; 2] = [LlmPolicy::SrptDeficit, LlmPolicy::ContinuousBatching];
+
+fn point_row(spec: &LlmExpSpec) -> [String; 4] {
+    let r = run_llm_point(spec);
+    [
+        spec.policy.as_str().to_string(),
+        format!("{:.0}", r.offered),
+        format!("{}", spec.kv_pages),
+        r.row(),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    header(
+        "Figure H (llm)",
+        "TTFT/TPOT tails per iteration policy, Zipf-tenant chat traffic under a KV budget",
+    );
+    row(&[
+        "policy".into(),
+        "offered_req_per_s".into(),
+        "kv_pages".into(),
+        "ttft_p99_us,ttft_mean_us,tpot_p99_us,tpot_mean_us,preempt,done,failed".into(),
+    ]);
+    if smoke {
+        // The committed configuration, verbatim — CI checks this output is
+        // deterministic and the tests assert the TPOT ordering on it.
+        let grid = paella_bench::sweep::run_grid(POLICIES.len(), |i| {
+            point_row(&LlmExpSpec::smoke(POLICIES[i]))
+        });
+        for r in &grid {
+            row(r);
+        }
+        return;
+    }
+    // Full sweep: offered load x KV budget x policy. The tight KV column
+    // shows recompute preemption kicking in; the load axis shows SRPT's
+    // serial decode saturating first.
+    let requests = scaled(600);
+    let rates = [200.0, 350.0, 450.0];
+    let pools = [48u64, 96];
+    let cells = rates.len() * pools.len() * POLICIES.len();
+    let grid = paella_bench::sweep::run_grid(cells, |i| {
+        let rate = rates[i / (pools.len() * POLICIES.len())];
+        let kv_pages = pools[(i / POLICIES.len()) % pools.len()];
+        let spec = LlmExpSpec {
+            rate_per_sec: rate,
+            requests,
+            warmup: requests / 6,
+            kv_pages,
+            ..LlmExpSpec::smoke(POLICIES[i % POLICIES.len()])
+        };
+        point_row(&spec)
+    });
+    for r in &grid {
+        row(r);
+    }
+}

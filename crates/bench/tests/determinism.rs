@@ -66,6 +66,11 @@ fn fig_cluster_smoke_stdout_is_thread_count_invariant() {
 }
 
 #[test]
+fn fig_llm_smoke_stdout_is_thread_count_invariant() {
+    assert_deterministic(env!("CARGO_BIN_EXE_fig_llm"), &["--smoke"]);
+}
+
+#[test]
 fn fig_faults_smoke_stdout_is_thread_count_invariant() {
     assert_deterministic(env!("CARGO_BIN_EXE_fig_faults"), &["--smoke"]);
 }

@@ -64,12 +64,14 @@ pub fn scope_of(path: &str) -> Scope {
     let gpu = starts("crates/gpu/src/");
     let sim = starts("crates/sim/src/");
     let workload = starts("crates/workload/src/");
+    let llm = starts("crates/llm/src/");
     Scope {
         sim_stack: sim
             || core
             || gpu
             || cluster
             || workload
+            || llm
             || starts("crates/bench/src/")
             || starts("crates/telemetry/src/"),
         channels: starts("crates/channels/src/"),
@@ -82,10 +84,11 @@ pub fn scope_of(path: &str) -> Scope {
                 | "crates/core/src/batching.rs"
                 | "crates/core/src/mig.rs"
         ) || cluster
-            || workload,
-        accounting: core || cluster || gpu,
+            || workload
+            || llm,
+        accounting: core || cluster || gpu || llm,
         atomics: starts("crates/channels/src/") || core,
-        float_cmp: sim || core || cluster || workload || gpu,
+        float_cmp: sim || core || cluster || workload || gpu || llm,
     }
 }
 

@@ -46,4 +46,4 @@ pub use atomic::AtomicCell;
 pub use lint::{lint_source, Violation};
 pub use mc::{Checker, Config, Report};
 pub use models::{clean_models, mutants, ModelCheck, Mutant};
-pub use oracle::{check_journeys, ConservationOracle, StreamOracle};
+pub use oracle::{check_journeys, check_kv, ConservationOracle, KvOracle, StreamOracle};

@@ -336,6 +336,9 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Violation> {
         // read the host clock.
         "crates/workload/src/",
         "crates/telemetry/src/",
+        // The LLM tier shares the virtual clock and its batch formation is
+        // a decision path: same determinism obligations.
+        "crates/llm/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))

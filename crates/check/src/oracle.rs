@@ -15,6 +15,9 @@
 //! * [`ConservationOracle`] — Table-1 block conservation: every launched
 //!   block is exactly one of unplaced / resident / completed, and no SM ever
 //!   exceeds its static limits.
+//! * [`KvOracle`] — the LLM tier's KV-page conservation, replayed from
+//!   `KvAlloc` trace events: per-job and pool-wide residency re-derived
+//!   from scratch, with double-free and leak detection.
 //!
 //! [`Waitlist`]: paella_core::Waitlist
 //! [`OccupancyTracker`]: paella_core::OccupancyTracker
@@ -522,6 +525,8 @@ pub fn check_journeys(log: &paella_telemetry::TraceLog) -> Result<usize, String>
         let b = j.breakdown;
         b.check_conservation()
             .map_err(|e| format!("job {}: {e}", j.job))?;
+        b.check_device_split()
+            .map_err(|e| format!("job {}: {e}", j.job))?;
         let Some(&(jct, csr, comm, queuing, fw, dev)) = ends.get(&j.job) else {
             return Err(format!("job {}: journey without a JobEnd", j.job));
         };
@@ -559,6 +564,139 @@ pub fn check_journeys(log: &paella_telemetry::TraceLog) -> Result<usize, String>
         return Err(format!("job {job}: JobEnd without a journey"));
     }
     Ok(checked)
+}
+
+/// Independent ledger for the LLM tier's paged KV-cache, replayed from
+/// [`KvAlloc`] events. The production [`KvPool`] maintains its counters
+/// incrementally; this oracle re-derives residency per job and pool-wide
+/// from nothing but the event stream, so a divergence pinpoints which side
+/// lost a page:
+///
+/// * every event's reported pool-wide `resident` must equal the ledger's;
+/// * a free may never exceed the job's held pages (double-free / over-free
+///   on cancel or preempt);
+/// * lifetime conservation: `allocated == freed + resident` at every step.
+///
+/// [`KvAlloc`]: paella_telemetry::TraceEvent::KvAlloc
+/// [`KvPool`]: https://docs.rs/paella-llm
+#[derive(Default, Debug)]
+pub struct KvOracle {
+    held: HashMap<u64, u64>,
+    resident: u64,
+    allocated: u64,
+    freed: u64,
+}
+
+impl KvOracle {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        KvOracle::default()
+    }
+
+    /// Replays one [`KvAlloc`](paella_telemetry::TraceEvent::KvAlloc)
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the divergence: over-free of `job`, or the
+    /// reported pool-wide residency disagreeing with the ledger.
+    pub fn on_event(
+        &mut self,
+        job: u64,
+        pages: u64,
+        freed: bool,
+        reported_resident: u64,
+    ) -> Result<(), String> {
+        if freed {
+            let held = self.held.get(&job).copied().unwrap_or(0);
+            if pages > held {
+                return Err(format!(
+                    "job {job}: freeing {pages} KV pages but only {held} held (double-free)"
+                ));
+            }
+            if pages == held {
+                self.held.remove(&job);
+            } else {
+                *self.held.get_mut(&job).expect("held > 0") -= pages;
+            }
+            self.resident -= pages;
+            self.freed += pages;
+        } else {
+            *self.held.entry(job).or_insert(0) += pages;
+            self.resident += pages;
+            self.allocated += pages;
+        }
+        if reported_resident != self.resident {
+            return Err(format!(
+                "job {job}: pool reports {reported_resident} resident pages, ledger says {}",
+                self.resident
+            ));
+        }
+        if self.allocated != self.freed + self.resident {
+            return Err(format!(
+                "KV conservation violated in ledger: allocated {} != freed {} + resident {}",
+                self.allocated, self.freed, self.resident
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pool-wide resident pages per the ledger.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Lifetime `(allocated, freed)` totals per the ledger — compare with
+    /// the production pool's.
+    pub fn lifetime(&self) -> (u64, u64) {
+        (self.allocated, self.freed)
+    }
+
+    /// Checks that every page went home: no job holds KV and the pool is
+    /// empty. Holds after any run that completed, failed, or cancelled all
+    /// its requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job still holding pages, or the residual count.
+    pub fn check_drained(&self) -> Result<(), String> {
+        if let Some((&job, &pages)) = self.held.iter().min() {
+            return Err(format!("job {job}: {pages} KV pages leaked"));
+        }
+        if self.resident != 0 {
+            return Err(format!("{} KV pages resident with no owner", self.resident));
+        }
+        Ok(())
+    }
+}
+
+/// Replays every [`KvAlloc`] event in `log` through a fresh [`KvOracle`]
+/// and checks that the stream drains. Returns the number of events
+/// replayed.
+///
+/// # Errors
+///
+/// Returns the first per-event divergence or the final leak.
+///
+/// [`KvAlloc`]: paella_telemetry::TraceEvent::KvAlloc
+pub fn check_kv(log: &paella_telemetry::TraceLog) -> Result<usize, String> {
+    use paella_telemetry::TraceEvent;
+    let mut oracle = KvOracle::new();
+    let mut replayed = 0usize;
+    for e in &log.events {
+        if let TraceEvent::KvAlloc {
+            job,
+            pages,
+            freed,
+            resident,
+        } = e.event
+        {
+            oracle.on_event(job, pages, freed, resident)?;
+            replayed += 1;
+        }
+    }
+    oracle.check_drained()?;
+    Ok(replayed)
 }
 
 #[cfg(test)]
@@ -692,6 +830,8 @@ mod tests {
                         queue_dep_ns: queue_split[1],
                         queue_occupancy_ns: queue_split[2],
                         queue_hol_ns: queue_split[3],
+                        device_prefill_ns: 400,
+                        device_decode_ns: 0,
                     },
                 },
             ],

@@ -1,5 +1,6 @@
 //! Lockstep property tests for the journey-conservation oracle: a *real*
-//! telemetry-enabled dispatcher — faults off and on — versus
+//! telemetry-enabled dispatcher — faults off and on — and a *real* LLM
+//! engine (both policies, loose and tight KV pools) versus
 //! [`paella_check::check_journeys`].
 //!
 //! The oracle demands exactness: every completed request's eight journey
@@ -102,6 +103,42 @@ fn assert_lockstep(out: &RunOut, n: usize) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Same lockstep, LLM tier: a real [`paella_llm::LlmEngine`] under a tight
+/// KV pool (admission blocking and recompute preemption both fire), checked
+/// for zero-slack journey conservation *plus* the prefill/decode device
+/// sub-split the autoregressive tier introduces.
+fn run_llm_once(seed: u64, n: usize, policy: paella_llm::LlmPolicy, pages: u64) -> RunOut {
+    use paella_core::types::ModelId;
+    let mut cfg = paella_llm::LlmEngineConfig::new(policy);
+    cfg.kv_pages_total = pages;
+    cfg.seed = seed;
+    let mut sys = paella_llm::LlmEngine::new(cfg);
+    sys.enable_telemetry();
+    sys.add_model(paella_llm::LlmModelSpec::chat("chat-7b", 96.0, 24.0));
+    let mut s = seed ^ 0x9E3779B97F4A7C15;
+    let mut at = 0u64;
+    for _ in 0..n {
+        at += 10_000 + nx(&mut s) % 80_000; // 10–90 µs inter-arrival
+        sys.submit(InferenceRequest {
+            client: ClientId((nx(&mut s) % 6) as u32),
+            model: ModelId(0),
+            submitted_at: SimTime::from_nanos(at),
+        });
+    }
+    sys.run_to_idle();
+    let completed = sys
+        .drain_completions()
+        .into_iter()
+        .map(|c| (c.job.0, c.jct().as_nanos()))
+        .collect();
+    let failed = ServingSystem::drain_failures(&mut sys).len();
+    RunOut {
+        log: sys.take_trace_log().expect("telemetry on"),
+        completed,
+        failed,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -118,6 +155,26 @@ proptest! {
         // cancellations); deadlines add the other cancel path. Survivors'
         // journeys must stay exact regardless.
         let out = run_once(seed, n, 0.08, true);
+        assert_lockstep(&out, n)?;
+    }
+
+    #[test]
+    fn llm_journeys_conserve_exactly(
+        seed in 0u64..1_000_000,
+        n in 10usize..40,
+        cb in any::<bool>(),
+        tight in any::<bool>(),
+    ) {
+        // `check_journeys` also enforces `check_device_split` on every
+        // journey, so prefill + decode attribution must be exact even
+        // across KV stalls and recompute preemptions (tight pool).
+        let policy = if cb {
+            paella_llm::LlmPolicy::ContinuousBatching
+        } else {
+            paella_llm::LlmPolicy::SrptDeficit
+        };
+        let pages = if tight { 64 } else { 4096 };
+        let out = run_llm_once(seed, n, policy, pages);
         assert_lockstep(&out, n)?;
     }
 }

@@ -1,0 +1,127 @@
+//! Lockstep property tests for the KV-cache conservation oracle: a *real*
+//! [`paella_llm::LlmEngine`] under a deliberately tight page pool versus
+//! [`paella_check::check_kv`]'s independent replay ledger.
+//!
+//! The adversarial shape is *random-prefix cancellation*: drive the engine
+//! through a random number of events — mid-prefill, mid-decode, mid
+//! head-of-line KV stall, possibly right after a recompute preemption —
+//! then disconnect every client at once. Whatever state the engine was in,
+//! every page must be freed exactly once: the replayed ledger must agree
+//! with the pool's reported residency at every event, find no double-free,
+//! and drain to zero.
+
+use proptest::prelude::*;
+
+use paella_check::{check_kv, KvOracle};
+use paella_core::types::{ClientId, InferenceRequest, ModelId};
+use paella_core::ServingSystem;
+use paella_llm::{LlmEngine, LlmEngineConfig, LlmModelSpec, LlmPolicy};
+use paella_sim::SimTime;
+
+/// Cheap deterministic stream of choices derived from one generated seed.
+fn nx(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+fn build(seed: u64, n: usize, cb: bool, pages: u64) -> LlmEngine {
+    let policy = if cb {
+        LlmPolicy::ContinuousBatching
+    } else {
+        LlmPolicy::SrptDeficit
+    };
+    let mut cfg = LlmEngineConfig::new(policy);
+    cfg.kv_pages_total = pages;
+    cfg.seed = seed;
+    let mut sys = LlmEngine::new(cfg);
+    sys.enable_telemetry();
+    sys.add_model(LlmModelSpec::chat("chat-7b", 96.0, 24.0));
+    let mut s = seed ^ 0xD1B54A32D192ED03;
+    let mut at = 0u64;
+    for _ in 0..n {
+        at += 5_000 + nx(&mut s) % 60_000;
+        sys.submit(InferenceRequest {
+            client: ClientId((nx(&mut s) % 5) as u32),
+            model: ModelId(0),
+            submitted_at: SimTime::from_nanos(at),
+        });
+    }
+    sys
+}
+
+/// Replays the engine's trace through the oracle and cross-checks the
+/// ledger's lifetime totals against the production pool's own counters.
+fn assert_kv_lockstep(sys: &mut LlmEngine) -> Result<(), TestCaseError> {
+    let (pool_alloc, pool_freed) = sys.kv_pool().lifetime();
+    prop_assert_eq!(sys.kv_pool().resident(), 0, "pool drained");
+    sys.kv_pool()
+        .check_conservation()
+        .map_err(TestCaseError::fail)?;
+    let log = sys.take_trace_log().expect("telemetry on");
+    check_kv(&log).map_err(TestCaseError::fail)?;
+    // Replay once more by hand to compare lifetime totals: the trace must
+    // account for every page the pool ever handed out, not just net to
+    // zero.
+    let mut oracle = KvOracle::new();
+    for e in &log.events {
+        if let paella_telemetry::TraceEvent::KvAlloc {
+            job,
+            pages,
+            freed,
+            resident,
+        } = e.event
+        {
+            oracle
+                .on_event(job, pages, freed, resident)
+                .map_err(TestCaseError::fail)?;
+        }
+    }
+    prop_assert_eq!(
+        oracle.lifetime(),
+        (pool_alloc, pool_freed),
+        "trace-replayed lifetime totals match the pool's"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kv_conserves_on_full_runs(
+        seed in 0u64..1_000_000,
+        n in 8usize..32,
+        cb in any::<bool>(),
+    ) {
+        // 48 pages ≈ four mean-sized sequences: admission blocks and the
+        // youngest sequence gets recompute-preempted on most runs.
+        let mut sys = build(seed, n, cb, 48);
+        sys.run_to_idle();
+        assert_kv_lockstep(&mut sys)?;
+    }
+
+    #[test]
+    fn kv_conserves_under_random_prefix_cancellation(
+        seed in 0u64..1_000_000,
+        n in 8usize..32,
+        cb in any::<bool>(),
+        steps in 0usize..200,
+    ) {
+        let mut sys = build(seed, n, cb, 48);
+        // Advance a random prefix of the event stream, then disconnect
+        // everyone — cancellation lands in whatever state that left.
+        let mut cancel_at = SimTime::ZERO;
+        for _ in 0..steps {
+            let Some(t) = sys.next_event_time() else { break };
+            sys.advance_until(t);
+            cancel_at = t;
+        }
+        sys.cancel_all(cancel_at);
+        // A stale in-flight iteration may still fire; it must not touch
+        // freed pages.
+        sys.run_to_idle();
+        assert_kv_lockstep(&mut sys)?;
+    }
+}

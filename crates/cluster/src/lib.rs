@@ -120,9 +120,11 @@ struct Node {
 
 impl Node {
     fn load(&self) -> NodeLoad {
+        let s = self.dispatcher.load_signal();
         NodeLoad {
             outstanding: self.outstanding,
-            remaining_work: self.dispatcher.load_signal().remaining_work + self.in_network_work,
+            remaining_work: s.remaining_work + self.in_network_work,
+            kv_pressure_bp: s.kv_pressure_bp(),
         }
     }
 }
@@ -1031,6 +1033,8 @@ impl ServingSystem for Cluster {
             s.queued += ns.queued + n.in_network;
             s.inflight += ns.inflight;
             s.remaining_work += ns.remaining_work + n.in_network_work;
+            s.kv_pages_used += ns.kv_pages_used;
+            s.kv_pages_total += ns.kv_pages_total;
         }
         s
     }

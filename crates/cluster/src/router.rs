@@ -49,6 +49,37 @@ pub struct NodeLoad {
     /// Estimated remaining device work, including requests still crossing
     /// the network to the node.
     pub remaining_work: SimDuration,
+    /// KV-cache occupancy in basis points (0..=10000); zero when the node
+    /// serves no KV-budgeted (autoregressive) models. Load-aware policies
+    /// inflate a node's apparent load as its KV pool saturates: a
+    /// memory-full node cannot admit new sequences no matter how short its
+    /// queue looks.
+    pub kv_pressure_bp: u64,
+}
+
+impl NodeLoad {
+    /// Inflates `value` by the node's KV pressure: `value / (1 - pressure)`
+    /// in integer math, so a half-full pool doubles apparent load and a
+    /// saturated pool (10000 bp) maps to `u64::MAX` — routed to only when
+    /// every candidate is saturated. With zero pressure this is `value`
+    /// unchanged, keeping non-LLM clusters byte-identical to before.
+    fn kv_inflated(&self, value: u64) -> u64 {
+        let bp = self.kv_pressure_bp.min(10_000);
+        if bp >= 10_000 {
+            return u64::MAX;
+        }
+        ((u128::from(value) * 10_000) / u128::from(10_000 - bp)).min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The queue-depth signal JSQ and po2 compare, KV-adjusted.
+    fn effective_outstanding(&self) -> u64 {
+        self.kv_inflated(self.outstanding)
+    }
+
+    /// The remaining-work signal LRW compares, KV-adjusted (nanoseconds).
+    fn effective_remaining_ns(&self) -> u64 {
+        self.kv_inflated(self.remaining_work.as_nanos())
+    }
 }
 
 /// The routing decision engine: policy plus the state it needs (round-robin
@@ -98,7 +129,7 @@ impl ClusterRouter {
                 *cursor = cursor.wrapping_add(1);
                 pos
             }
-            RoutingPolicy::Jsq => min_by_key(loads, |l| l.outstanding),
+            RoutingPolicy::Jsq => min_by_key(loads, |l| l.effective_outstanding()),
             RoutingPolicy::PowerOfTwoChoices => {
                 let a = self.rng.index(candidates.len());
                 // Draw the second choice from the remaining n-1 slots so the
@@ -108,13 +139,13 @@ impl ClusterRouter {
                     b += 1;
                 }
                 let (lo, hi) = (a.min(b), a.max(b));
-                if loads[hi].outstanding < loads[lo].outstanding {
+                if loads[hi].effective_outstanding() < loads[lo].effective_outstanding() {
                     hi
                 } else {
                     lo
                 }
             }
-            RoutingPolicy::LeastRemainingWork => min_by_key(loads, |l| l.remaining_work),
+            RoutingPolicy::LeastRemainingWork => min_by_key(loads, |l| l.effective_remaining_ns()),
         }
     }
 }
@@ -138,6 +169,14 @@ mod tests {
         NodeLoad {
             outstanding,
             remaining_work: SimDuration::from_micros(work_us),
+            kv_pressure_bp: 0,
+        }
+    }
+
+    fn kv_load(outstanding: u64, work_us: u64, kv_bp: u64) -> NodeLoad {
+        NodeLoad {
+            kv_pressure_bp: kv_bp,
+            ..load(outstanding, work_us)
         }
     }
 
@@ -197,6 +236,59 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(r.pick(&[0, 1], &l), 1);
         }
+    }
+
+    #[test]
+    fn jsq_deprioritizes_kv_saturated_node() {
+        // Node 0 has the shorter queue but a saturated KV pool: it cannot
+        // admit a new sequence, so JSQ must route to node 1 despite the
+        // longer queue. A merely half-full pool (doubling apparent load)
+        // also loses against a genuinely shorter queue.
+        let mut r = ClusterRouter::new(RoutingPolicy::Jsq, 1);
+        let l = [kv_load(1, 0, 10_000), kv_load(6, 0, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 1, "saturated node avoided");
+        // Half-full pool doubles apparent depth: 4 -> 8 loses to 6...
+        let l = [kv_load(4, 0, 5_000), kv_load(6, 0, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 1);
+        // ...but a 2 -> 4 inflation still beats 6.
+        let l = [kv_load(2, 0, 5_000), kv_load(6, 0, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 0);
+    }
+
+    #[test]
+    fn lrw_deprioritizes_kv_saturated_node() {
+        let mut r = ClusterRouter::new(RoutingPolicy::LeastRemainingWork, 1);
+        // Saturated pool beats even a 100x work advantage.
+        let l = [kv_load(1, 100, 10_000), kv_load(1, 10_000, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 1, "KV-full node deprioritized");
+        // Half-full pool doubles apparent work: 6000us -> 12000us loses to
+        // 10000us.
+        let l = [kv_load(1, 6_000, 5_000), kv_load(1, 10_000, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 1);
+        // ...but wins when its raw advantage survives the inflation.
+        let l = [kv_load(1, 4_000, 5_000), kv_load(1, 10_000, 0)];
+        assert_eq!(r.pick(&[0, 1], &l), 0);
+    }
+
+    #[test]
+    fn po2_deprioritizes_kv_saturated_node() {
+        let mut r = ClusterRouter::new(RoutingPolicy::PowerOfTwoChoices, 7);
+        // Both draws always land on {0, 1}; the saturated node must lose
+        // every comparison even with the shorter raw queue.
+        let l = [kv_load(0, 0, 10_000), kv_load(50, 0, 0)];
+        for _ in 0..50 {
+            assert_eq!(r.pick(&[0, 1], &l), 1);
+        }
+    }
+
+    #[test]
+    fn zero_pressure_leaves_signals_unchanged() {
+        let l = load(7, 123);
+        assert_eq!(l.effective_outstanding(), 7);
+        assert_eq!(
+            l.effective_remaining_ns(),
+            SimDuration::from_micros(123).as_nanos()
+        );
     }
 
     #[test]

@@ -624,6 +624,9 @@ impl Dispatcher {
             inflight: self.jobs.len() as u64,
             remaining_work: self.queued_work
                 + SimDuration::from_micros_f64(self.inflight_work_us.max(0.0)),
+            // Fixed-trace serving has no KV budget; the LLM tier reports one.
+            kv_pages_used: 0,
+            kv_pages_total: 0,
         }
     }
 
@@ -1713,6 +1716,10 @@ impl Dispatcher {
                 queue_dep_ns,
                 queue_occupancy_ns,
                 queue_hol_ns,
+                // Fixed-trace jobs: the whole device pass is the degenerate
+                // "prefill"; decode time is an LLM-tier concept.
+                device_prefill_ns: device.as_nanos(),
+                device_decode_ns: 0,
             });
         if let Some(m) = self.metrics.as_mut() {
             m.inc("jobs_completed", 1);

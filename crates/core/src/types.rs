@@ -68,12 +68,30 @@ pub struct LoadSignal {
     pub inflight: u64,
     /// Estimated remaining device work across queued + in-flight jobs.
     pub remaining_work: SimDuration,
+    /// KV-cache pages currently resident on the device, for systems with a
+    /// paged KV memory budget (autoregressive serving). Zero for systems
+    /// without one.
+    pub kv_pages_used: u64,
+    /// Total KV-cache pages on the device; zero means "no KV budget" and
+    /// makes [`LoadSignal::kv_pressure_bp`] report zero pressure.
+    pub kv_pages_total: u64,
 }
 
 impl LoadSignal {
     /// Total requests the system is holding (queued + in flight).
     pub fn outstanding(&self) -> u64 {
         self.queued + self.inflight
+    }
+
+    /// KV-cache occupancy in basis points (0..=10000). Integer math so
+    /// identical states compare identically everywhere; saturates at 10000
+    /// even if accounting transiently reports used > total.
+    pub fn kv_pressure_bp(&self) -> u64 {
+        if self.kv_pages_total == 0 {
+            return 0;
+        }
+        ((u128::from(self.kv_pages_used) * 10_000) / u128::from(self.kv_pages_total)).min(10_000)
+            as u64
     }
 }
 

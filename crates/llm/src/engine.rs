@@ -1,0 +1,969 @@
+//! The autoregressive serving engine: iteration-level scheduling over
+//! prefill/decode phases under a paged KV-cache budget.
+//!
+//! # Execution model
+//!
+//! The device runs one *iteration* at a time (the LLM analogue of a kernel
+//! launch). Each iteration carries a batch of work items: prompt-prefill
+//! chunks and/or one decode step for a set of decode-phase sequences.
+//! Iteration cost is affine in its contents — a fixed per-iteration
+//! overhead, a per-token prefill cost, and a decode cost of
+//! `decode_fixed_ns + batch · decode_ns_per_seq` (the fixed part models
+//! weight streaming, which co-batched sequences amortize; that
+//! amortization is exactly why iteration-level continuous batching wins on
+//! inter-token latency).
+//!
+//! # Policies
+//!
+//! * [`LlmPolicy::SrptDeficit`] — the paper's dispatcher policy lifted to
+//!   token granularity: the real
+//!   [`SrptDeficitScheduler`](paella_core::sched::SrptDeficitScheduler)
+//!   arbitrates between jobs, and the winner runs one unit (a prefill
+//!   chunk or a batch-of-1 decode step) per iteration. Remaining-time
+//!   estimates shrink as tokens retire, so SRPT's preference for
+//!   nearly-done jobs carries over — but nothing co-batches, so every
+//!   outstanding decode stream pays the full fixed cost per token.
+//! * [`LlmPolicy::ContinuousBatching`] — Orca-style iteration-level
+//!   batching: every decode-phase sequence joins each iteration (up to
+//!   `max_batch`), and leftover prefill budget admits pending prompts
+//!   chunk by chunk (Sarathi-style chunked prefill keeps admission from
+//!   stalling decode).
+//!
+//! # KV-cache budget
+//!
+//! Admission reserves `ceil(prompt / page_tokens)` pages; each decode step
+//! that crosses a page boundary grows the working set by one page. When an
+//! allocation fails the engine preempts the *youngest* running sequence
+//! (recompute-style, as in vLLM: its pages are freed and its prompt plus
+//! generated prefix re-prefills on re-admission). A pending prompt that
+//! cannot reserve its pages head-of-line blocks admission; the wait is
+//! charged to the journey's `queue_occupancy` phase.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use paella_core::sched::{JobInfo, Scheduler, SrptDeficitScheduler};
+use paella_core::types::{
+    ClientId, FailureReason, InferenceRequest, JobCompletion, JobFailure, JobId, LatencyBreakdown,
+    LoadSignal, ModelId,
+};
+use paella_core::ServingSystem;
+use paella_sim::event::EventQueue;
+use paella_sim::{SimDuration, SimTime, Xoshiro256pp};
+use paella_telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceLog, Tracer};
+
+use crate::kv::KvPool;
+use crate::spec::LlmModelSpec;
+
+/// Which iteration-formation policy the engine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LlmPolicy {
+    /// SRPT-with-deficit arbitration, one job per iteration (no
+    /// co-batching) — the paper's scheduler applied at token granularity.
+    SrptDeficit,
+    /// Iteration-level continuous batching with chunked prefill admission.
+    ContinuousBatching,
+}
+
+impl LlmPolicy {
+    /// Stable display name (bench output, figure rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LlmPolicy::SrptDeficit => "srpt+deficit",
+            LlmPolicy::ContinuousBatching => "continuous-batching",
+        }
+    }
+}
+
+/// Engine configuration. All costs are integer nanoseconds: the iteration
+/// arithmetic stays exact, so runs are byte-reproducible and the journey
+/// conservation law needs no rounding slack.
+#[derive(Clone, Debug)]
+pub struct LlmEngineConfig {
+    /// Iteration-formation policy.
+    pub policy: LlmPolicy,
+    /// Tokens per KV page.
+    pub kv_page_tokens: u64,
+    /// Total KV pages on the device.
+    pub kv_pages_total: u64,
+    /// Decode co-batch cap (continuous batching only).
+    pub max_batch: u64,
+    /// Prefill token budget per iteration (chunked prefill).
+    pub prefill_chunk: u64,
+    /// Fixed per-iteration overhead (scheduling + launch), ns.
+    pub iter_overhead_ns: u64,
+    /// Prefill cost per prompt token, ns.
+    pub prefill_ns_per_token: u64,
+    /// Fixed cost of a decode step regardless of batch size (weight
+    /// streaming), ns. This is the term continuous batching amortizes.
+    pub decode_fixed_ns: u64,
+    /// Marginal decode cost per co-batched sequence, ns.
+    pub decode_ns_per_seq: u64,
+    /// Seed for per-request length sampling.
+    pub seed: u64,
+}
+
+impl LlmEngineConfig {
+    /// A workable default configuration for the given policy, modeled on a
+    /// mid-size decoder: ~0.5 µs/token prefill, 50 µs fixed + 2 µs/seq
+    /// decode steps, 16-token pages.
+    pub fn new(policy: LlmPolicy) -> Self {
+        LlmEngineConfig {
+            policy,
+            kv_page_tokens: 16,
+            kv_pages_total: 4096,
+            max_batch: 16,
+            prefill_chunk: 256,
+            iter_overhead_ns: 5_000,
+            prefill_ns_per_token: 500,
+            decode_fixed_ns: 50_000,
+            decode_ns_per_seq: 2_000,
+            seed: 0x11A0,
+        }
+    }
+}
+
+/// One finished request's token-level summary (the TTFT/TPOT record).
+#[derive(Clone, Copy, Debug)]
+pub struct LlmCompletion {
+    /// Engine-assigned job id.
+    pub job: JobId,
+    /// Submitting client (tenant).
+    pub client: ClientId,
+    /// Prompt length, tokens.
+    pub prompt_tokens: u64,
+    /// Output length, tokens (including the first token).
+    pub output_tokens: u64,
+    /// When the client called predict.
+    pub submitted_at: SimTime,
+    /// When the first output token was produced (end of prefill).
+    pub first_token_at: SimTime,
+    /// When the last token was produced.
+    pub finished_at: SimTime,
+    /// Recompute preemptions suffered.
+    pub preemptions: u32,
+}
+
+impl LlmCompletion {
+    /// Time to first token.
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token_at.saturating_since(self.submitted_at)
+    }
+
+    /// Mean time per output token after the first, ns. Zero for
+    /// single-token outputs.
+    pub fn tpot_ns(&self) -> u64 {
+        if self.output_tokens <= 1 {
+            return 0;
+        }
+        self.finished_at
+            .saturating_since(self.first_token_at)
+            .as_nanos()
+            / (self.output_tokens - 1)
+    }
+}
+
+/// Work assigned to one job within one iteration.
+#[derive(Clone, Copy, Debug)]
+enum Work {
+    /// Process this many prompt tokens.
+    Prefill(u64),
+    /// One decode step (one output token).
+    Decode,
+}
+
+/// Engine-internal events.
+enum Ev {
+    /// A submitted request reaches its arrival instant and becomes
+    /// schedulable. Gating readiness on this event (rather than on the
+    /// `submit` call) keeps batch-submitted workloads causal: a policy
+    /// can never admit a request before its `submitted_at`.
+    Arrive(JobId),
+    /// The in-flight iteration finished.
+    IterEnd,
+}
+
+/// The in-flight iteration.
+struct InflightIter {
+    items: Vec<(JobId, Work)>,
+    decode_batch: u64,
+}
+
+/// Per-sequence state.
+struct LlmJob {
+    request: InferenceRequest,
+    /// Original prompt length, tokens.
+    prompt_tokens: u64,
+    /// Sampled output length, tokens (≥ 1; the first is produced by
+    /// prefill).
+    output_tokens: u64,
+    /// Tokens whose KV must be (re)built before decoding can continue:
+    /// the prompt, plus — after a recompute preemption — the generated
+    /// prefix.
+    recompute_tokens: u64,
+    /// Prefilled tokens of the current recompute span.
+    prefill_done: u64,
+    /// Output tokens produced so far.
+    generated: u64,
+    /// Tokens with KV written under the current page reservation.
+    kv_tokens: u64,
+    /// KV pages currently held.
+    pages_held: u64,
+    /// Accumulated device time in prefill, ns.
+    prefill_ns: u64,
+    /// Accumulated device time in decode, ns.
+    decode_ns: u64,
+    /// Accumulated head-of-line wait on KV admission, ns.
+    kv_wait_ns: u64,
+    /// When the job started waiting on KV admission (if it is).
+    kv_since: Option<SimTime>,
+    /// When the first output token was produced.
+    first_token_at: Option<SimTime>,
+    /// Recompute preemptions suffered.
+    preemptions: u32,
+    /// Whether `PrefillStart` was emitted (first admission only).
+    prefill_started: bool,
+    /// Whether the arrival event has fired (the job is schedulable).
+    arrived: bool,
+}
+
+impl LlmJob {
+    /// Whether the sequence is past prefill (decode phase).
+    fn in_decode(&self) -> bool {
+        self.prefill_done >= self.recompute_tokens
+    }
+
+    /// Estimated remaining device time, ns, for SRPT ranking: remaining
+    /// prefill at the per-token rate plus remaining output at the
+    /// batch-of-1 decode rate.
+    fn remaining_estimate_ns(&self, cfg: &LlmEngineConfig) -> u64 {
+        let prefill_left = self.recompute_tokens.saturating_sub(self.prefill_done);
+        let out_left = self.output_tokens.saturating_sub(self.generated);
+        prefill_left * cfg.prefill_ns_per_token
+            + out_left * (cfg.decode_fixed_ns + cfg.decode_ns_per_seq)
+    }
+}
+
+/// The autoregressive serving engine. See the module docs for the model.
+pub struct LlmEngine {
+    cfg: LlmEngineConfig,
+    specs: Vec<LlmModelSpec>,
+    jobs: BTreeMap<JobId, LlmJob>,
+    /// Admission queue, submission order; recompute-preempted jobs re-enter
+    /// at the front (their original arrival already paid its wait).
+    pending: VecDeque<JobId>,
+    /// Admitted sequences holding KV.
+    running: BTreeSet<JobId>,
+    /// Jobs the SRPT policy parked because KV admission failed; re-readied
+    /// when pages free up.
+    kv_blocked: BTreeSet<JobId>,
+    /// In-flight jobs per client, for deficit `client_idle` resets.
+    client_jobs: BTreeMap<ClientId, u64>,
+    pool: KvPool,
+    queue: EventQueue<Ev>,
+    inflight: Option<InflightIter>,
+    iter_seq: u64,
+    next_job: u64,
+    rng: Xoshiro256pp,
+    /// The real SRPT-with-deficit policy (SrptDeficit mode only).
+    srpt: Option<SrptDeficitScheduler>,
+    tracer: Tracer,
+    metrics: Option<MetricsRegistry>,
+    completions: Vec<JobCompletion>,
+    llm_completions: Vec<LlmCompletion>,
+    failures: Vec<JobFailure>,
+}
+
+impl LlmEngine {
+    /// An engine with the given configuration and no models.
+    pub fn new(cfg: LlmEngineConfig) -> Self {
+        let srpt = match cfg.policy {
+            LlmPolicy::SrptDeficit => Some(SrptDeficitScheduler::new(Some(2.0))),
+            LlmPolicy::ContinuousBatching => None,
+        };
+        LlmEngine {
+            pool: KvPool::new(cfg.kv_page_tokens, cfg.kv_pages_total),
+            rng: Xoshiro256pp::seed_from_u64(cfg.seed),
+            srpt,
+            cfg,
+            specs: Vec::new(),
+            jobs: BTreeMap::new(),
+            pending: VecDeque::new(),
+            running: BTreeSet::new(),
+            kv_blocked: BTreeSet::new(),
+            client_jobs: BTreeMap::new(),
+            queue: EventQueue::new(),
+            inflight: None,
+            iter_seq: 0,
+            next_job: 1,
+            tracer: Tracer::disabled(),
+            metrics: None,
+            completions: Vec::new(),
+            llm_completions: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Registers an autoregressive model spec and returns its id.
+    pub fn add_model(&mut self, spec: LlmModelSpec) -> ModelId {
+        self.specs.push(spec);
+        ModelId((self.specs.len() - 1) as u32)
+    }
+
+    /// The KV pool (tests, oracles).
+    pub fn kv_pool(&self) -> &KvPool {
+        &self.pool
+    }
+
+    /// Takes the token-level completion records accumulated so far.
+    pub fn drain_llm_completions(&mut self) -> Vec<LlmCompletion> {
+        std::mem::take(&mut self.llm_completions)
+    }
+
+    /// Fails every in-flight and pending request (client disconnect). KV
+    /// pages are freed exactly once; `at` must not precede the engine's
+    /// current virtual time.
+    pub fn cancel_all(&mut self, at: SimTime) {
+        let ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        for id in ids {
+            self.fail_job(id, FailureReason::Disconnected, at);
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// The arrival instant: the job joins the admission queue and (under
+    /// SRPT) becomes pickable. No-op if the request was cancelled before
+    /// arriving.
+    fn mark_arrived(&mut self, id: JobId) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        job.arrived = true;
+        let client = job.request.client;
+        self.pending.push_back(id);
+        *self.client_jobs.entry(client).or_insert(0) += 1;
+        let info = self.job_info(id);
+        if let Some(srpt) = self.srpt.as_mut() {
+            srpt.job_ready(info);
+        }
+    }
+
+    fn emit_kv(&mut self, at: SimTime, job: JobId, pages: u64, freed: bool) {
+        if pages == 0 {
+            return;
+        }
+        let resident = self.pool.resident();
+        self.tracer.record_with(at, || TraceEvent::KvAlloc {
+            job: job.0,
+            pages,
+            freed,
+            resident,
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc(
+                if freed {
+                    "kv_pages_freed"
+                } else {
+                    "kv_pages_allocated"
+                },
+                pages,
+            );
+            m.gauge("kv_pages_resident", resident);
+        }
+    }
+
+    fn job_info(&self, id: JobId) -> JobInfo {
+        let job = &self.jobs[&id];
+        let total = job.prompt_tokens * self.cfg.prefill_ns_per_token
+            + job.output_tokens * (self.cfg.decode_fixed_ns + self.cfg.decode_ns_per_seq);
+        JobInfo {
+            job: id,
+            client: job.request.client,
+            arrival: job.request.submitted_at,
+            total_estimate: SimDuration::from_nanos(total),
+            remaining_estimate: SimDuration::from_nanos(job.remaining_estimate_ns(&self.cfg)),
+        }
+    }
+
+    /// Recompute-preempts `victim`: frees its pages and sends it back to
+    /// the head of the admission queue with its generated prefix folded
+    /// into the prompt to rebuild.
+    fn preempt_job(&mut self, victim: JobId, at: SimTime) {
+        let pages = {
+            let job = self.jobs.get_mut(&victim).expect("victim exists");
+            let pages = job.pages_held;
+            job.pages_held = 0;
+            job.recompute_tokens = job.prompt_tokens + job.generated;
+            job.prefill_done = 0;
+            job.kv_tokens = 0;
+            job.preemptions += 1;
+            pages
+        };
+        self.pool.free(pages);
+        self.emit_kv(at, victim, pages, true);
+        self.running.remove(&victim);
+        self.pending.push_front(victim);
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("llm_preempted", 1);
+        }
+        if let Some(s) = self.srpt.as_mut() {
+            let est = self.jobs[&victim].remaining_estimate_ns(&self.cfg);
+            s.remaining_changed(victim, SimDuration::from_nanos(est));
+        }
+    }
+
+    /// Ensures `id` holds enough pages to decode one more token, preempting
+    /// the youngest unprotected running sequence on exhaustion. Returns
+    /// `false` when no page can be found (the caller skips or fails `id`).
+    fn ensure_decode_page(&mut self, id: JobId, at: SimTime, protected: &BTreeSet<JobId>) -> bool {
+        let delta = {
+            let job = &self.jobs[&id];
+            self.pool
+                .pages_for_tokens(job.kv_tokens + 1)
+                .saturating_sub(job.pages_held)
+        };
+        if delta == 0 {
+            return true;
+        }
+        loop {
+            if self.pool.try_alloc(delta) {
+                self.jobs.get_mut(&id).expect("job exists").pages_held += delta;
+                self.emit_kv(at, id, delta, false);
+                return true;
+            }
+            let victim = self
+                .running
+                .iter()
+                .rev()
+                .find(|j| **j != id && !protected.contains(*j))
+                .copied();
+            match victim {
+                Some(v) => self.preempt_job(v, at),
+                None => return false,
+            }
+        }
+    }
+
+    /// Removes `id` from every engine structure. The caller has already
+    /// taken the job out of `self.jobs`.
+    fn detach(&mut self, id: JobId, job: &LlmJob, at: SimTime) {
+        self.running.remove(&id);
+        self.kv_blocked.remove(&id);
+        self.pending.retain(|j| *j != id);
+        if job.pages_held > 0 {
+            self.pool.free(job.pages_held);
+            self.emit_kv(at, id, job.pages_held, true);
+        }
+        let client = job.request.client;
+        if !job.arrived {
+            // Cancelled before its arrival event fired: it was never
+            // charged to the client or the scheduler.
+            return;
+        }
+        if let Some(n) = self.client_jobs.get_mut(&client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.client_jobs.remove(&client);
+                if let Some(s) = self.srpt.as_mut() {
+                    s.client_idle(client);
+                }
+            }
+        }
+        // Pages may have been freed: KV-parked jobs get another shot.
+        self.unblock_kv_waiters();
+    }
+
+    fn unblock_kv_waiters(&mut self) {
+        if self.srpt.is_none() || self.kv_blocked.is_empty() {
+            return;
+        }
+        let ids: Vec<JobId> = self.kv_blocked.iter().copied().collect();
+        self.kv_blocked.clear();
+        for id in ids {
+            let info = self.job_info(id);
+            self.srpt.as_mut().expect("srpt policy").job_ready(info);
+        }
+    }
+
+    fn fail_job(&mut self, id: JobId, reason: FailureReason, at: SimTime) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        if let Some(s) = self.srpt.as_mut() {
+            s.job_done(id);
+        }
+        self.detach(id, &job, at);
+        self.tracer.record_with(at, || TraceEvent::JobCancelled {
+            job: id.0,
+            reason: reason.as_str(),
+        });
+        if let Some(m) = self.metrics.as_mut() {
+            m.slo_fail(job.request.client.0, reason.as_str());
+        }
+        self.failures.push(JobFailure {
+            request: job.request,
+            reason,
+            at,
+        });
+    }
+
+    /// Retires a finished sequence: frees KV, emits the journey (the
+    /// eight-phase conservation law holds exactly by clamped-take
+    /// construction, and the prefill/decode sub-split sums to the device
+    /// phase), and records completions.
+    fn complete_job(&mut self, id: JobId, at: SimTime) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        if let Some(s) = self.srpt.as_mut() {
+            s.job_done(id);
+        }
+        self.detach(id, &job, at);
+
+        let total = at.saturating_since(job.request.submitted_at).as_nanos();
+        let mut rem = total;
+        let mut take = |x: u64| {
+            let t = x.min(rem);
+            rem -= t;
+            t
+        };
+        let device_prefill_ns = take(job.prefill_ns);
+        let device_decode_ns = take(job.decode_ns);
+        let queue_occupancy_ns = take(job.kv_wait_ns);
+        let queue_hol_ns = rem;
+        let device_ns = device_prefill_ns + device_decode_ns;
+        let queuing_ns = queue_occupancy_ns + queue_hol_ns;
+        let client = job.request.client.0;
+        self.tracer.record_with(at, || TraceEvent::JobEnd {
+            job: id.0,
+            client,
+            jct_ns: total,
+            client_send_recv_ns: 0,
+            communication_ns: 0,
+            queuing_scheduling_ns: queuing_ns,
+            framework_ns: 0,
+            device_ns,
+        });
+        self.tracer.record_with(at, || TraceEvent::JobJourney {
+            job: id.0,
+            client,
+            jct_ns: total,
+            client_send_recv_ns: 0,
+            communication_ns: 0,
+            framework_ns: 0,
+            device_ns,
+            retry_backoff_ns: 0,
+            queue_dep_ns: 0,
+            queue_occupancy_ns,
+            queue_hol_ns,
+            device_prefill_ns,
+            device_decode_ns,
+        });
+
+        let first_token_at = job.first_token_at.unwrap_or(at);
+        let done = LlmCompletion {
+            job: id,
+            client: job.request.client,
+            prompt_tokens: job.prompt_tokens,
+            output_tokens: job.output_tokens,
+            submitted_at: job.request.submitted_at,
+            first_token_at,
+            finished_at: at,
+            preemptions: job.preemptions,
+        };
+        if let Some(m) = self.metrics.as_mut() {
+            m.inc("llm_completed", 1);
+            m.observe("jct_ns", total);
+            m.observe("tpot_ns", done.tpot_ns());
+            m.slo_complete(client, true, 0);
+        }
+        self.llm_completions.push(done);
+        self.completions.push(JobCompletion {
+            job: id,
+            request: job.request,
+            almost_finished_at: None,
+            device_done_at: at,
+            client_visible_at: at,
+            breakdown: LatencyBreakdown {
+                client_send_recv: SimDuration::ZERO,
+                communication: SimDuration::ZERO,
+                queuing_scheduling: SimDuration::from_nanos(queuing_ns),
+                framework: SimDuration::ZERO,
+                device: SimDuration::from_nanos(device_ns),
+            },
+        });
+    }
+
+    /// Admits the job at the head of `pending` if its prompt pages fit.
+    /// Returns `false` (and stamps the head-of-line wait start) when the
+    /// pool is too full — or fails the job outright when its prompt can
+    /// never fit.
+    fn try_admit(&mut self, id: JobId, at: SimTime) -> bool {
+        let need = {
+            let job = &self.jobs[&id];
+            self.pool.pages_for_tokens(job.recompute_tokens)
+        };
+        if need > self.pool.total_pages() {
+            self.fail_job(id, FailureReason::Shed, at);
+            return false;
+        }
+        if !self.pool.try_alloc(need) {
+            let job = self.jobs.get_mut(&id).expect("job exists");
+            if job.kv_since.is_none() {
+                job.kv_since = Some(at);
+            }
+            return false;
+        }
+        self.emit_kv(at, id, need, false);
+        let (emit_prefill, prompt_tokens) = {
+            let job = self.jobs.get_mut(&id).expect("job exists");
+            job.pages_held = need;
+            job.kv_tokens = job.recompute_tokens;
+            if let Some(since) = job.kv_since.take() {
+                job.kv_wait_ns += at.saturating_since(since).as_nanos();
+            }
+            let first = !job.prefill_started;
+            job.prefill_started = true;
+            (first, job.prompt_tokens)
+        };
+        self.pending.retain(|j| *j != id);
+        self.running.insert(id);
+        if emit_prefill {
+            self.tracer.record_with(at, || TraceEvent::PrefillStart {
+                job: id.0,
+                prompt_tokens: prompt_tokens.min(u64::from(u32::MAX)) as u32,
+            });
+        }
+        true
+    }
+
+    /// Starts an iteration if the device is idle and work exists.
+    fn maybe_start_iteration(&mut self, at: SimTime) {
+        if self.inflight.is_some() {
+            return;
+        }
+        let items = match self.cfg.policy {
+            LlmPolicy::ContinuousBatching => self.form_batch_cb(at),
+            LlmPolicy::SrptDeficit => self.form_batch_srpt(at),
+        };
+        if items.is_empty() {
+            return;
+        }
+        let mut prefill_tokens = 0u64;
+        let mut decode_batch = 0u64;
+        for (_, w) in &items {
+            match w {
+                Work::Prefill(t) => prefill_tokens += t,
+                Work::Decode => decode_batch += 1,
+            }
+        }
+        let mut dur = self.cfg.iter_overhead_ns + prefill_tokens * self.cfg.prefill_ns_per_token;
+        if decode_batch > 0 {
+            dur += self.cfg.decode_fixed_ns + decode_batch * self.cfg.decode_ns_per_seq;
+        }
+        self.inflight = Some(InflightIter {
+            items,
+            decode_batch,
+        });
+        self.queue
+            .schedule_at(at.saturating_add(SimDuration::from_nanos(dur)), Ev::IterEnd);
+    }
+
+    /// Continuous batching: every decode sequence joins (up to
+    /// `max_batch`), then leftover prefill budget continues admitted
+    /// prompts and admits pending ones FCFS.
+    fn form_batch_cb(&mut self, at: SimTime) -> Vec<(JobId, Work)> {
+        let mut items: Vec<(JobId, Work)> = Vec::new();
+        let mut batch: BTreeSet<JobId> = BTreeSet::new();
+
+        let decode_ids: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|j| self.jobs[j].in_decode())
+            .take(self.cfg.max_batch as usize)
+            .copied()
+            .collect();
+        for id in decode_ids {
+            if !self.running.contains(&id) {
+                continue; // preempted by an older sequence's page growth
+            }
+            if self.ensure_decode_page(id, at, &batch) {
+                batch.insert(id);
+                items.push((id, Work::Decode));
+            } else if self.running.len() == 1 {
+                // Sole sequence and the pool cannot cover one more token:
+                // it can never finish.
+                self.fail_job(id, FailureReason::Shed, at);
+            }
+        }
+
+        let mut budget = self.cfg.prefill_chunk;
+        let prefill_ids: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|j| !self.jobs[j].in_decode())
+            .copied()
+            .collect();
+        for id in prefill_ids {
+            if budget == 0 {
+                break;
+            }
+            let left = {
+                let job = &self.jobs[&id];
+                job.recompute_tokens.saturating_sub(job.prefill_done)
+            };
+            let t = left.min(budget);
+            if t > 0 {
+                budget -= t;
+                items.push((id, Work::Prefill(t)));
+            }
+        }
+        while budget > 0 {
+            let Some(&head) = self.pending.front() else {
+                break;
+            };
+            if !self.try_admit(head, at) {
+                // `try_admit` either failed the job (retry the new head) or
+                // head-of-line blocked on KV (stop admitting).
+                if self.jobs.contains_key(&head) {
+                    break;
+                }
+                continue;
+            }
+            let left = self.jobs[&head].recompute_tokens;
+            let t = left.min(budget);
+            budget -= t;
+            items.push((head, Work::Prefill(t)));
+        }
+        items
+    }
+
+    /// SRPT-with-deficit: the scheduler picks one job; it runs one prefill
+    /// chunk or a batch-of-1 decode step. KV-refused picks park until pages
+    /// free up.
+    fn form_batch_srpt(&mut self, at: SimTime) -> Vec<(JobId, Work)> {
+        loop {
+            let picked = self
+                .srpt
+                .as_mut()
+                .expect("srpt policy")
+                .pick_next_explained();
+            let Some((id, rationale)) = picked else {
+                return Vec::new();
+            };
+            if !self.running.contains(&id) && !self.try_admit(id, at) {
+                if self.jobs.contains_key(&id) {
+                    // Park until KV frees up; the scheduler must stop
+                    // returning it.
+                    self.kv_blocked.insert(id);
+                    self.srpt.as_mut().expect("srpt policy").job_blocked(id);
+                }
+                continue;
+            }
+            let work = {
+                let job = &self.jobs[&id];
+                if job.in_decode() {
+                    None
+                } else {
+                    Some(
+                        job.recompute_tokens
+                            .saturating_sub(job.prefill_done)
+                            .min(self.cfg.prefill_chunk),
+                    )
+                }
+            };
+            let work = match work {
+                Some(t) => Work::Prefill(t),
+                None => {
+                    if !self.ensure_decode_page(id, at, &BTreeSet::new()) {
+                        // No victim can free a page: the sequence alone
+                        // exceeds the pool.
+                        self.fail_job(id, FailureReason::Shed, at);
+                        continue;
+                    }
+                    Work::Decode
+                }
+            };
+            let sched = self.srpt.as_mut().expect("srpt policy");
+            let ready = sched.ready_len() as u32;
+            let policy = sched.name();
+            sched.on_dispatched(id);
+            self.tracer.record_with(at, || TraceEvent::SchedDecision {
+                job: id.0,
+                policy,
+                rationale,
+                ready,
+            });
+            return vec![(id, work)];
+        }
+    }
+
+    /// Applies the finished iteration's work and retires completed
+    /// sequences.
+    fn finish_iteration(&mut self, at: SimTime) {
+        let Some(iter) = self.inflight.take() else {
+            return;
+        };
+        if iter.decode_batch > 0 {
+            let seq = self.iter_seq;
+            let b = iter.decode_batch.min(u64::from(u32::MAX)) as u32;
+            self.tracer.record_with(at, || TraceEvent::DecodeStep {
+                iter: seq,
+                batch: b,
+                tokens: b,
+            });
+        }
+        self.iter_seq += 1;
+        // Remainder of the integer split stays unattributed (it lands in
+        // the journey's queue_hol residual, keeping conservation exact).
+        let decode_share = self
+            .cfg
+            .decode_fixed_ns
+            .checked_div(iter.decode_batch)
+            .map_or(0, |share| self.cfg.decode_ns_per_seq + share);
+        for (id, work) in iter.items {
+            let done = {
+                let Some(job) = self.jobs.get_mut(&id) else {
+                    continue; // cancelled or preempted mid-iteration
+                };
+                match work {
+                    Work::Prefill(t) => {
+                        job.prefill_done += t;
+                        job.prefill_ns += t * self.cfg.prefill_ns_per_token;
+                        if job.prefill_done >= job.recompute_tokens {
+                            // The prefill pass produces the next token.
+                            job.generated += 1;
+                            if job.first_token_at.is_none() {
+                                job.first_token_at = Some(at);
+                                let ttft = at.saturating_since(job.request.submitted_at).as_nanos();
+                                if let Some(m) = self.metrics.as_mut() {
+                                    m.observe("ttft_ns", ttft);
+                                }
+                            }
+                        }
+                    }
+                    Work::Decode => {
+                        job.kv_tokens += 1;
+                        job.generated += 1;
+                        job.decode_ns += decode_share;
+                    }
+                }
+                job.in_decode() && job.generated >= job.output_tokens
+            };
+            if done {
+                self.complete_job(id, at);
+            } else {
+                let est = self.jobs[&id].remaining_estimate_ns(&self.cfg);
+                if let Some(srpt) = self.srpt.as_mut() {
+                    srpt.remaining_changed(id, SimDuration::from_nanos(est));
+                }
+            }
+        }
+    }
+}
+
+impl ServingSystem for LlmEngine {
+    /// Registers a fixed-trace model as a degenerate autoregressive spec:
+    /// its whole forward pass is a single-chunk "prompt" and it emits one
+    /// token. The native path is [`LlmEngine::add_model`] with a real
+    /// [`LlmModelSpec`].
+    fn register_model(&mut self, model: &paella_compiler::CompiledModel) -> ModelId {
+        self.add_model(LlmModelSpec::chat(&model.name, 64.0, 1.0))
+    }
+
+    fn submit(&mut self, req: InferenceRequest) {
+        let spec = &self.specs[req.model.0 as usize];
+        let (prompt_tokens, output_tokens) = spec.sample_lengths(&mut self.rng);
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let name = spec.name.clone();
+        self.tracer
+            .record_with(req.submitted_at, || TraceEvent::JobBegin {
+                job: id.0,
+                client: req.client.0,
+                model: name,
+                submitted_at: req.submitted_at,
+            });
+        self.jobs.insert(
+            id,
+            LlmJob {
+                request: req,
+                prompt_tokens,
+                output_tokens,
+                recompute_tokens: prompt_tokens,
+                prefill_done: 0,
+                generated: 0,
+                kv_tokens: 0,
+                pages_held: 0,
+                prefill_ns: 0,
+                decode_ns: 0,
+                kv_wait_ns: 0,
+                kv_since: None,
+                first_token_at: None,
+                preemptions: 0,
+                prefill_started: false,
+                arrived: false,
+            },
+        );
+        self.queue.schedule_at(req.submitted_at, Ev::Arrive(id));
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn advance_until(&mut self, t: SimTime) {
+        while self.queue.peek_time().is_some_and(|at| at <= t) {
+            let (at, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                Ev::Arrive(id) => {
+                    self.mark_arrived(id);
+                    self.maybe_start_iteration(at);
+                }
+                Ev::IterEnd => {
+                    self.finish_iteration(at);
+                    self.maybe_start_iteration(at);
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<JobCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn drain_failures(&mut self) -> Vec<JobFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    fn name(&self) -> String {
+        format!("llm[{}]", self.cfg.policy.as_str())
+    }
+
+    fn enable_telemetry(&mut self) {
+        self.tracer = Tracer::enabled();
+        self.metrics = Some(MetricsRegistry::new());
+    }
+
+    fn take_trace_log(&mut self) -> Option<TraceLog> {
+        self.tracer.is_enabled().then(|| self.tracer.take())
+    }
+
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(MetricsRegistry::snapshot)
+    }
+
+    fn load_signal(&self) -> LoadSignal {
+        let mut remaining = 0u64;
+        for job in self.jobs.values() {
+            remaining += job.remaining_estimate_ns(&self.cfg);
+        }
+        LoadSignal {
+            queued: (self.jobs.len().saturating_sub(self.running.len())) as u64,
+            inflight: self.running.len() as u64,
+            remaining_work: SimDuration::from_nanos(remaining),
+            kv_pages_used: self.pool.resident(),
+            kv_pages_total: self.pool.total_pages(),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The paged KV-cache memory budget (vLLM-style, simplified).
+//!
+//! Device memory for attention keys/values is carved into fixed-size pages
+//! of `page_tokens` tokens each. A sequence holds `ceil(tokens /
+//! page_tokens)` pages; admission reserves the prompt's pages up front and
+//! decode grows the working set one page per `page_tokens` generated
+//! tokens. The pool never over-commits: when an allocation cannot be
+//! satisfied the engine must preempt (recompute) or wait — exactly the
+//! admission pressure that makes KV the binding resource in LLM serving.
+//!
+//! Conservation is a first-class invariant: at every step,
+//! `allocated_total == freed_total + resident`. The pool maintains it by
+//! construction and [`KvPool::check_conservation`] re-derives it; the
+//! `paella-check` oracle replays the emitted
+//! [`KvAlloc`](paella_telemetry::TraceEvent::KvAlloc) events against an
+//! independent ledger.
+
+/// The device's KV-page pool.
+#[derive(Clone, Debug)]
+pub struct KvPool {
+    /// Tokens per page (> 0).
+    page_tokens: u64,
+    /// Total pages on the device.
+    total_pages: u64,
+    /// Pages currently held by sequences.
+    resident: u64,
+    /// Lifetime pages allocated.
+    allocated_total: u64,
+    /// Lifetime pages freed.
+    freed_total: u64,
+}
+
+impl KvPool {
+    /// A pool of `total_pages` pages of `page_tokens` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` is zero.
+    pub fn new(page_tokens: u64, total_pages: u64) -> Self {
+        assert!(page_tokens > 0, "KV pages must hold at least one token");
+        KvPool {
+            page_tokens,
+            total_pages,
+            resident: 0,
+            allocated_total: 0,
+            freed_total: 0,
+        }
+    }
+
+    /// Pages needed to hold `tokens` tokens of KV.
+    pub fn pages_for_tokens(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.page_tokens)
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> u64 {
+        self.page_tokens
+    }
+
+    /// Total pages on the device.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages currently held.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages - self.resident
+    }
+
+    /// Lifetime `(allocated, freed)` page totals.
+    pub fn lifetime(&self) -> (u64, u64) {
+        (self.allocated_total, self.freed_total)
+    }
+
+    /// Tries to allocate `pages`; all-or-nothing.
+    #[must_use]
+    pub fn try_alloc(&mut self, pages: u64) -> bool {
+        if pages > self.free_pages() {
+            return false;
+        }
+        self.resident += pages;
+        self.allocated_total += pages;
+        true
+    }
+
+    /// Returns `pages` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` exceeds the resident count — a double-free.
+    pub fn free(&mut self, pages: u64) {
+        assert!(
+            pages <= self.resident,
+            "KV double-free: freeing {pages} of {} resident",
+            self.resident
+        );
+        self.resident -= pages;
+        self.freed_total += pages;
+    }
+
+    /// The conservation law, re-derived from the lifetime totals.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.allocated_total == self.freed_total + self.resident {
+            Ok(())
+        } else {
+            Err(format!(
+                "KV conservation violated: allocated {} != freed {} + resident {}",
+                self.allocated_total, self.freed_total, self.resident
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_conserves() {
+        let mut p = KvPool::new(16, 10);
+        assert_eq!(p.pages_for_tokens(1), 1);
+        assert_eq!(p.pages_for_tokens(16), 1);
+        assert_eq!(p.pages_for_tokens(17), 2);
+        assert!(p.try_alloc(4));
+        assert!(p.try_alloc(6));
+        assert!(!p.try_alloc(1), "pool exhausted");
+        assert_eq!(p.free_pages(), 0);
+        p.free(6);
+        assert!(p.try_alloc(2));
+        p.check_conservation().expect("conserved");
+        assert_eq!(p.lifetime(), (12, 6));
+        assert_eq!(p.resident(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV double-free")]
+    fn double_free_panics() {
+        let mut p = KvPool::new(16, 10);
+        assert!(p.try_alloc(2));
+        p.free(3);
+    }
+}

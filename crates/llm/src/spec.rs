@@ -1,0 +1,98 @@
+//! Autoregressive model specifications.
+//!
+//! Where the fixed-trace tier registers a [`CompiledModel`] whose kernel
+//! sequence is known at compile time, an LLM's work is only *partially*
+//! known at admission: the prompt length is visible up front, but the
+//! output length is revealed one decode step at a time. The spec therefore
+//! carries seeded *distributions* (lognormal prompts, geometric outputs) —
+//! per-request lengths are sampled once at submission so every policy under
+//! test sees the identical per-request work.
+//!
+//! [`CompiledModel`]: paella_compiler::CompiledModel
+
+use std::sync::Arc;
+
+use paella_sim::dist::{Distribution, Geometric, LogNormal};
+use paella_sim::Xoshiro256pp;
+
+/// One autoregressive model's workload shape and cost coefficients.
+#[derive(Clone, Debug)]
+pub struct LlmModelSpec {
+    /// Display name (interned; shared with trace events).
+    pub name: Arc<str>,
+    /// Prompt-length distribution (tokens; lognormal like real chat traces,
+    /// where most prompts are short and a heavy tail paginates documents).
+    pub prompt: LogNormal,
+    /// Mean output length in tokens; outputs are geometric (each decode
+    /// step emits EOS with probability `1/mean` — memoryless, like sampled
+    /// generation).
+    pub mean_output_tokens: f64,
+    /// Prompt lengths are clamped to `1..=max_prompt_tokens`.
+    pub max_prompt_tokens: u64,
+    /// Output lengths are clamped to `1..=max_output_tokens`.
+    pub max_output_tokens: u64,
+}
+
+impl LlmModelSpec {
+    /// A chat-shaped spec: lognormal prompts around `mean_prompt` tokens,
+    /// geometric outputs around `mean_output` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not at least 1.
+    pub fn chat(name: &str, mean_prompt: f64, mean_output: f64) -> Self {
+        assert!(mean_prompt >= 1.0, "mean prompt must be >= 1 token");
+        assert!(mean_output >= 1.0, "mean output must be >= 1 token");
+        LlmModelSpec {
+            name: name.into(),
+            prompt: LogNormal::with_mean(mean_prompt, 0.8),
+            mean_output_tokens: mean_output,
+            max_prompt_tokens: (mean_prompt * 8.0) as u64 + 1,
+            max_output_tokens: (mean_output * 8.0) as u64 + 1,
+        }
+    }
+
+    /// Samples one request's `(prompt_tokens, output_tokens)` pair. Both
+    /// are at least 1 and respect the spec's caps; each call consumes a
+    /// fixed number of RNG draws, so the sampling stream stays aligned
+    /// across policies fed the same submission order.
+    pub fn sample_lengths(&self, rng: &mut Xoshiro256pp) -> (u64, u64) {
+        let p = self.prompt.sample(rng);
+        let prompt = if p < 1.0 {
+            1
+        } else {
+            (p as u64).min(self.max_prompt_tokens)
+        };
+        let out = Geometric::with_mean(self.mean_output_tokens)
+            .sample_u64(rng)
+            .min(self.max_output_tokens);
+        (prompt, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_bounded_and_deterministic() {
+        let spec = LlmModelSpec::chat("llama-7b", 128.0, 64.0);
+        let draw = |seed: u64| {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            (0..1000)
+                .map(|_| spec.sample_lengths(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same lengths");
+        for &(p, o) in &a {
+            assert!(p >= 1 && p <= spec.max_prompt_tokens);
+            assert!(o >= 1 && o <= spec.max_output_tokens);
+        }
+        let mean_p = a.iter().map(|&(p, _)| p).sum::<u64>() as f64 / a.len() as f64;
+        assert!(
+            (mean_p - 128.0).abs() < 32.0,
+            "prompt mean {mean_p} should be near 128"
+        );
+    }
+}

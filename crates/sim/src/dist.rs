@@ -165,6 +165,50 @@ impl Distribution for LogNormal {
     }
 }
 
+/// Geometric distribution over `{1, 2, 3, ...}` with the given mean — the
+/// number of trials up to and including the first success, `p = 1 / mean`.
+/// Used for autoregressive output lengths: each decode step "succeeds"
+/// (emits EOS) with probability `p`, so generation lengths are memoryless
+/// the way sampled LLM outputs approximately are.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    mean: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with mean `mean` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite or is below 1.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean >= 1.0, "bad geometric mean");
+        Geometric { mean }
+    }
+
+    /// Draws one integer sample in `{1, 2, ...}`.
+    pub fn sample_u64(&self, rng: &mut Xoshiro256pp) -> u64 {
+        if self.mean <= 1.0 {
+            return 1;
+        }
+        // Inverse CDF: ⌈ln(1-u) / ln(1-p)⌉, with `1 - u` guarded from 0.
+        let p = 1.0 / self.mean;
+        let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let x = (u.ln() / (1.0 - p).ln()).ceil();
+        if x < 1.0 {
+            1
+        } else {
+            x as u64
+        }
+    }
+}
+
+impl Distribution for Geometric {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.sample_u64(rng) as f64
+    }
+}
+
 /// A boxed distribution, for heterogeneous configuration tables.
 pub type DynDistribution = Box<dyn Distribution + Send>;
 
@@ -229,6 +273,26 @@ mod tests {
                 (m - 1_000.0).abs() / 1_000.0 < 0.05,
                 "lognormal σ={sigma} empirical mean {m}"
             );
+        }
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let d = Geometric::with_mean(32.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let n = 200_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = d.sample_u64(&mut rng);
+            assert!(x >= 1);
+            sum += x;
+        }
+        let m = sum as f64 / n as f64;
+        assert!((m - 32.0).abs() < 0.5, "geometric mean {m}");
+        // Degenerate mean-1 case always returns 1.
+        let one = Geometric::with_mean(1.0);
+        for _ in 0..100 {
+            assert_eq!(one.sample_u64(&mut rng), 1);
         }
     }
 

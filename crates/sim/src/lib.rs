@@ -27,7 +27,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use dist::{Constant, Distribution, Exponential, LogNormal, Normal, Uniform};
+pub use dist::{Constant, Distribution, Exponential, Geometric, LogNormal, Normal, Uniform};
 pub use event::{EventId, EventQueue};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use rng::{SplitMix64, Xoshiro256pp};

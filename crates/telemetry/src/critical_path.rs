@@ -49,6 +49,13 @@ pub struct PhaseBreakdown {
     pub queue_occupancy_ns: u64,
     /// Residual queuing (scheduler head-of-line wait).
     pub queue_hol_ns: u64,
+    /// Prefill sub-split of `device_ns` for autoregressive jobs (zero for
+    /// fixed-trace jobs). Not a ninth phase: `device_prefill_ns +
+    /// device_decode_ns == device_ns` is its own conservation law, checked
+    /// by [`PhaseBreakdown::check_device_split`].
+    pub device_prefill_ns: u64,
+    /// Decode sub-split of `device_ns` (zero for fixed-trace jobs).
+    pub device_decode_ns: u64,
 }
 
 impl PhaseBreakdown {
@@ -78,6 +85,22 @@ impl PhaseBreakdown {
                 sum,
                 self.jct_ns,
                 self.jct_ns as i128 - sum as i128
+            ))
+        }
+    }
+
+    /// The device sub-split conservation law: prefill + decode must equal
+    /// device time exactly. Fixed-trace jobs carry their whole device time
+    /// as prefill (one uninterrupted pass over the precompiled trace is the
+    /// degenerate "prompt"), so the law is uniform across job classes.
+    pub fn check_device_split(&self) -> Result<(), String> {
+        let sum = self.device_prefill_ns + self.device_decode_ns;
+        if sum == self.device_ns {
+            Ok(())
+        } else {
+            Err(format!(
+                "device split {} + {} != device {}",
+                self.device_prefill_ns, self.device_decode_ns, self.device_ns
             ))
         }
     }
@@ -111,6 +134,8 @@ pub fn extract_journeys(log: &TraceLog) -> Vec<Journey> {
                 queue_dep_ns,
                 queue_occupancy_ns,
                 queue_hol_ns,
+                device_prefill_ns,
+                device_decode_ns,
             } => Some(Journey {
                 job,
                 tenant: client,
@@ -124,6 +149,8 @@ pub fn extract_journeys(log: &TraceLog) -> Vec<Journey> {
                     queue_dep_ns,
                     queue_occupancy_ns,
                     queue_hol_ns,
+                    device_prefill_ns,
+                    device_decode_ns,
                 },
             }),
             _ => None,
@@ -258,6 +285,8 @@ mod tests {
                 queue_dep_ns: 0,
                 queue_occupancy_ns: 0,
                 queue_hol_ns: hol,
+                device_prefill_ns: device,
+                device_decode_ns: 0,
             },
         }
     }
@@ -269,6 +298,15 @@ mod tests {
         b.jct_ns += 1;
         let err = b.check_conservation().unwrap_err();
         assert!(err.contains("delta 1"), "{err}");
+    }
+
+    #[test]
+    fn device_split_catches_slack() {
+        let mut b = journey(1, 0, 100, 50).breakdown;
+        assert!(b.check_device_split().is_ok());
+        b.device_decode_ns += 1;
+        let err = b.check_device_split().unwrap_err();
+        assert!(err.contains("device split"), "{err}");
     }
 
     #[test]
@@ -339,6 +377,8 @@ mod tests {
                         queue_dep_ns: b.queue_dep_ns,
                         queue_occupancy_ns: b.queue_occupancy_ns,
                         queue_hol_ns: b.queue_hol_ns,
+                        device_prefill_ns: b.device_prefill_ns,
+                        device_decode_ns: b.device_decode_ns,
                     },
                 },
             ],

@@ -158,6 +158,14 @@ pub enum TraceEvent {
         /// Residual queuing: runnable but not picked — scheduler
         /// head-of-line wait plus unattributed overlap.
         queue_hol_ns: u64,
+        /// Device time spent in the prefill phase (prompt processing), for
+        /// autoregressive jobs; zero for fixed-trace jobs. Together with
+        /// `device_decode_ns` this sub-splits `device_ns` exactly:
+        /// `device_prefill_ns + device_decode_ns == device_ns`.
+        device_prefill_ns: u64,
+        /// Device time spent in per-token decode iterations; zero for
+        /// fixed-trace jobs.
+        device_decode_ns: u64,
     },
     /// A host CPU charge: `start..` the event timestamp.
     HostOp {
@@ -333,6 +341,40 @@ pub enum TraceEvent {
         /// Recovering node index.
         node: u32,
     },
+    /// An autoregressive job began its prefill phase (prompt processing) on
+    /// the device. TTFT is measured from the client's `submitted_at` to the
+    /// end of the last prefill chunk.
+    PrefillStart {
+        /// Engine-assigned job id.
+        job: u64,
+        /// Prompt length in tokens.
+        prompt_tokens: u32,
+    },
+    /// One iteration-level decode step retired: the batch of compatible
+    /// decode-phase jobs each produced one token. Recorded per iteration
+    /// (not per job) to bound trace volume.
+    DecodeStep {
+        /// Monotone iteration counter within the engine.
+        iter: u64,
+        /// Jobs co-batched in this iteration.
+        batch: u32,
+        /// Tokens produced this iteration (== batch for pure decode).
+        tokens: u32,
+    },
+    /// KV-cache pages moved between the free pool and a job's working set.
+    /// The conservation oracle replays these: at every event,
+    /// `allocated_total == freed_total + resident`.
+    KvAlloc {
+        /// Owning job id.
+        job: u64,
+        /// Pages allocated (`freed == false`) or released (`freed == true`).
+        pages: u64,
+        /// `true` when pages return to the pool (completion, preemption,
+        /// cancellation); `false` for an allocation.
+        freed: bool,
+        /// Pool-wide resident page count *after* this event.
+        resident: u64,
+    },
     /// A periodic virtual-time counter sample (also rendered as a Chrome
     /// counter track).
     CounterSample {
@@ -369,6 +411,9 @@ impl TraceEvent {
             TraceEvent::RequestShed { .. } => "request-shed",
             TraceEvent::NodeCrash { .. } => "node-crash",
             TraceEvent::NodeRecover { .. } => "node-recover",
+            TraceEvent::PrefillStart { .. } => "prefill-start",
+            TraceEvent::DecodeStep { .. } => "decode-step",
+            TraceEvent::KvAlloc { .. } => "kv-alloc",
             TraceEvent::CounterSample { .. } => "counter-sample",
         }
     }

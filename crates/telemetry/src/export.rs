@@ -128,6 +128,7 @@ const NOTIF_TID: u32 = 91;
 const DISPATCH_TID: u32 = 92;
 const ROUTER_TID: u32 = 93;
 const FAULTS_TID: u32 = 94;
+const LLM_TID: u32 = 95;
 
 /// Renders the log as Chrome-trace JSON (array-of-events form).
 pub fn chrome_trace_json(log: &TraceLog) -> String {
@@ -223,6 +224,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     let mut hw_queues: BTreeMap<u32, ()> = BTreeMap::new();
     let mut has_routes = false;
     let mut has_faults = false;
+    let mut has_llm = false;
     for e in &events {
         match e.event {
             TraceEvent::HostOp { core, .. } => {
@@ -240,6 +242,9 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
             | TraceEvent::RequestShed { .. }
             | TraceEvent::NodeCrash { .. }
             | TraceEvent::NodeRecover { .. } => has_faults = true,
+            TraceEvent::PrefillStart { .. }
+            | TraceEvent::DecodeStep { .. }
+            | TraceEvent::KvAlloc { .. } => has_llm = true,
             _ => {}
         }
     }
@@ -262,6 +267,9 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
     }
     if has_faults {
         fixed_tids.push((FAULTS_TID, "faults"));
+    }
+    if has_llm {
+        fixed_tids.push((LLM_TID, "llm engine"));
     }
     for (tid, name) in fixed_tids {
         push(
@@ -380,10 +388,12 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 queue_dep_ns,
                 queue_occupancy_ns,
                 queue_hol_ns,
+                device_prefill_ns,
+                device_decode_ns,
             } => {
                 push(
                     format!(
-                        r#"{{"ph":"i","name":"journey job {job}","cat":"journey","s":"t","pid":0,"tid":0,"ts":"{at}","args":{{"client":{client},"jct_ns":{jct_ns},"client_send_recv_ns":{client_send_recv_ns},"communication_ns":{communication_ns},"framework_ns":{framework_ns},"device_ns":{device_ns},"retry_backoff_ns":{retry_backoff_ns},"queue_dep_ns":{queue_dep_ns},"queue_occupancy_ns":{queue_occupancy_ns},"queue_hol_ns":{queue_hol_ns}}}}}"#
+                        r#"{{"ph":"i","name":"journey job {job}","cat":"journey","s":"t","pid":0,"tid":0,"ts":"{at}","args":{{"client":{client},"jct_ns":{jct_ns},"client_send_recv_ns":{client_send_recv_ns},"communication_ns":{communication_ns},"framework_ns":{framework_ns},"device_ns":{device_ns},"retry_backoff_ns":{retry_backoff_ns},"queue_dep_ns":{queue_dep_ns},"queue_occupancy_ns":{queue_occupancy_ns},"queue_hol_ns":{queue_hol_ns},"device_prefill_ns":{device_prefill_ns},"device_decode_ns":{device_decode_ns}}}}}"#
                     ),
                     &mut out,
                     &mut first,
@@ -597,6 +607,43 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 push(
                     format!(
                         r#"{{"ph":"i","name":"recover node {node}","cat":"fault","s":"t","pid":0,"tid":{FAULTS_TID},"ts":"{at}","args":{{}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::PrefillStart { job, prompt_tokens } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"prefill job {job}","cat":"llm","s":"t","pid":0,"tid":{LLM_TID},"ts":"{at}","args":{{"prompt_tokens":{prompt_tokens}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::DecodeStep {
+                iter,
+                batch,
+                tokens,
+            } => {
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"decode iter {iter}","cat":"llm","s":"t","pid":0,"tid":{LLM_TID},"ts":"{at}","args":{{"batch":{batch},"tokens":{tokens}}}}}"#
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::KvAlloc {
+                job,
+                pages,
+                freed,
+                resident,
+            } => {
+                let what = if *freed { "free" } else { "alloc" };
+                push(
+                    format!(
+                        r#"{{"ph":"i","name":"kv {what} job {job}","cat":"llm","s":"t","pid":0,"tid":{LLM_TID},"ts":"{at}","args":{{"pages":{pages},"resident":{resident}}}}}"#
                     ),
                     &mut out,
                     &mut first,
@@ -1350,6 +1397,8 @@ mod tests {
             queue_dep_ns: 400,
             queue_occupancy_ns: 300,
             queue_hol_ns: 300,
+            device_prefill_ns: 3_000,
+            device_decode_ns: 0,
         });
         let json = chrome_trace_json(&t.take());
         validate_chrome_trace(&json).expect("valid trace");
@@ -1372,6 +1421,42 @@ mod tests {
             None,
         );
         assert!(s.contains("failover-hop"));
+    }
+
+    #[test]
+    fn llm_events_render_on_the_llm_track() {
+        let mut t = Tracer::enabled();
+        t.record_with(SimTime::from_micros(1), || TraceEvent::PrefillStart {
+            job: 3,
+            prompt_tokens: 128,
+        });
+        t.record_with(SimTime::from_micros(2), || TraceEvent::KvAlloc {
+            job: 3,
+            pages: 8,
+            freed: false,
+            resident: 8,
+        });
+        t.record_with(SimTime::from_micros(3), || TraceEvent::DecodeStep {
+            iter: 0,
+            batch: 1,
+            tokens: 1,
+        });
+        t.record_with(SimTime::from_micros(4), || TraceEvent::KvAlloc {
+            job: 3,
+            pages: 8,
+            freed: true,
+            resident: 0,
+        });
+        let json = chrome_trace_json(&t.take());
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains(r#""name":"llm engine""#), "llm track named");
+        assert!(json.contains("prefill job 3"));
+        assert!(json.contains("decode iter 0"));
+        assert!(json.contains("kv alloc job 3"));
+        assert!(json.contains("kv free job 3"));
+        // An LLM-free log must not declare the track.
+        let plain = chrome_trace_json(&sample_log());
+        assert!(!plain.contains(r#""name":"llm engine""#));
     }
 
     #[test]

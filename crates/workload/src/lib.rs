@@ -18,11 +18,15 @@
 //! * [`faults`] — the robustness experiment: the cluster workload under a
 //!   seeded fault plan, reduced to goodput, successful-request p99, and the
 //!   within-deadline fraction.
+//! * [`llm`] — the autoregressive experiment: Zipf-tenant chat traffic over
+//!   a [`paella_llm::LlmEngine`], reduced to TTFT/TPOT tails per
+//!   iteration-formation policy.
 
 pub mod breakdown;
 pub mod cluster;
 pub mod faults;
 pub mod gen;
+pub mod llm;
 pub mod runner;
 pub mod systems;
 
@@ -30,5 +34,6 @@ pub use breakdown::{average_breakdown, client_utilization, BreakdownUs};
 pub use cluster::{run_cluster_point, smoke_models, ClusterExpResult, ClusterExpSpec};
 pub use faults::{run_fault_point, FaultExpResult, FaultExpSpec};
 pub use gen::{generate, Arrival, Mix, WorkloadSpec};
+pub use llm::{generate_llm_trace, run_llm_point, smoke_llm_model, LlmExpResult, LlmExpSpec};
 pub use runner::{load_sweep, run_trace, RunStats, SweepPoint};
 pub use systems::{make_system, SystemKey};
