@@ -1,0 +1,105 @@
+//! Figure I (dag): event-triggered DAG dispatch on launch-bound
+//! many-tiny-kernel pipelines (DESIGN §15).
+//!
+//! The workload is the fast path's home turf: deep chains of ~2 µs kernels
+//! whose per-kernel scheduler arbitration (SRPT pick, deficit charge,
+//! readiness churn) is comparable to the kernels themselves. With DAG
+//! dispatch on, an uncontended job's successors activate directly off the
+//! GPU completion notification — `dag_releases` replaces `sched_picks` on
+//! the hot path. The contended rows show the automatic fallback: a burst
+//! keeps >1 job runnable, the fast path disengages, and the full
+//! SRPT-with-deficit loop arbitrates exactly as with DAG dispatch off.
+//!
+//! Every printed column is virtual-time or a deterministic counter — no
+//! wall-clock — so stdout is byte-identical at any `PAELLA_BENCH_THREADS`.
+//!
+//! `--smoke` runs exactly the committed configuration CI pins (run-twice
+//! byte-identical at 1/2/8 threads).
+
+use paella_bench::{channels, f, header, row, scaled};
+use paella_core::{Dispatcher, DispatcherConfig, ServingSystem, SrptDeficitScheduler};
+use paella_gpu::DeviceConfig;
+use paella_models::synthetic;
+use paella_sim::SimDuration;
+use paella_workload::{generate, run_trace, Mix, WorkloadSpec};
+
+/// One cell: a pipeline of `depth` ~2 µs single-block kernels, arriving
+/// spaced (uncontended) or in a burst (contended), with or without DAG
+/// dispatch.
+fn run_point(depth: u32, dag: bool, burst: bool, n: usize) -> [String; 8] {
+    let mut cfg = DispatcherConfig::paella();
+    cfg.dag_dispatch = dag;
+    let mut sys = Dispatcher::new(
+        DeviceConfig::tesla_t4(),
+        channels(),
+        Box::new(SrptDeficitScheduler::new(Some(2_000.0))),
+        cfg,
+        7,
+    );
+    sys.enable_telemetry();
+    let m = ServingSystem::register_model(
+        &mut sys,
+        &synthetic::uniform_job("tiny", depth, SimDuration::from_micros(2), 1),
+    );
+    // Spaced arrivals leave exactly one job in flight (the fast-path
+    // regime); the burst rate keeps the device contended throughout.
+    let rate = if burst { 20_000.0 } else { 800.0 };
+    let spec = WorkloadSpec {
+        clients: if burst { 8 } else { 1 },
+        ..WorkloadSpec::steady(rate, n)
+    };
+    let arrivals = generate(&spec, &Mix::single(m));
+    let mut stats = run_trace(&mut sys, &arrivals, n / 10);
+    let snap = stats.metrics.take().expect("telemetry on");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    [
+        depth.to_string(),
+        if dag { "dag" } else { "loop" }.to_string(),
+        if burst { "burst" } else { "spaced" }.to_string(),
+        f(stats.mean_us()),
+        f(stats.p99_us()),
+        counter("sched_picks").to_string(),
+        counter("dag_releases").to_string(),
+        counter("fastpath_enters").to_string(),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    header(
+        "Figure I (dag)",
+        "launch-bound tiny-kernel pipelines: event-triggered DAG dispatch vs per-kernel scheduler loop (T4)",
+    );
+    row(&[
+        "depth".into(),
+        "dispatch".into(),
+        "regime".into(),
+        "mean_jct_us".into(),
+        "p99_jct_us".into(),
+        "sched_picks".into(),
+        "dag_releases".into(),
+        "fastpath_enters".into(),
+    ]);
+    let depths: &[u32] = if smoke {
+        &[8, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
+    let n = scaled(if smoke { 300 } else { 600 });
+    // Grid: depth × dispatch mode × arrival regime, one sim per cell.
+    let cells = depths.len() * 4;
+    let grid = paella_bench::sweep::run_grid(cells, |i| {
+        let depth = depths[i / 4];
+        let dag = (i / 2) % 2 == 0;
+        let burst = i % 2 == 1;
+        run_point(depth, dag, burst, n)
+    });
+    for r in &grid {
+        row(r);
+    }
+}

@@ -10,6 +10,7 @@
 //! per-kernel profiling that feeds the SRPT scheduler's remaining-time
 //! estimates (§6, [`profile`]).
 
+pub mod dag;
 pub mod fusion;
 pub mod instrument;
 pub mod ir;
@@ -18,6 +19,7 @@ pub mod module;
 pub mod parallel;
 pub mod profile;
 
+pub use dag::{DagError, DagNode, DagResources, KernelDag};
 pub use fusion::{fuse, FusionGroup};
 pub use instrument::{instrument_model, instrumented, notifications_per_run};
 pub use ir::{Graph, GraphError, Node, NodeId, Op, Shape};

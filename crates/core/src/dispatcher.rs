@@ -11,10 +11,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use paella_channels::{ChannelConfig, KernelUid};
-use paella_compiler::{bootstrap_profile, instrumented, CompiledModel, DeviceOp, ModelProfile};
+use paella_compiler::{
+    bootstrap_profile, instrumented, CompiledModel, DeviceOp, KernelDag, ModelProfile,
+};
 use paella_gpu::{
-    CopyDir, DeviceConfig, GpuOutput, GpuSim, InstrumentationSpec, KernelLaunch, MemcpyOp,
-    MemcpyUid, StreamId,
+    CopyDir, DeviceConfig, GpuOutput, GpuSim, InstrumentationSpec, KernelDesc, KernelLaunch,
+    MemcpyOp, MemcpyUid, StreamId,
 };
 use paella_sim::{EventQueue, SimDuration, SimTime, Xoshiro256pp};
 use paella_telemetry::{
@@ -134,6 +136,19 @@ pub struct DispatcherConfig {
     /// `load_signal().outstanding()` is at or above this is shed instead of
     /// queued. `None` disables shedding.
     pub shed_watermark: Option<u64>,
+    /// Whole-DAG submission with event-triggered release (DESIGN §15): when
+    /// exactly one job is in flight and the device sits below
+    /// `fastpath_occupancy_pct`, its successors activate directly off GPU
+    /// completion notifications via the model's pre-validated [`KernelDag`]
+    /// — no waitlist re-scan, no scheduler invocation. Falls back to full
+    /// SRPT-with-deficit arbitration the moment the device is contended.
+    /// Off by default: the fast path skips per-kernel deficit charges, so
+    /// enabling it is an explicit serving-policy choice.
+    pub dag_dispatch: bool,
+    /// Occupancy watermark (percent of device block capacity, from the
+    /// software mirror) above which the DAG fast path hands the job back to
+    /// the arbitrating scheduler even if it is alone.
+    pub fastpath_occupancy_pct: u64,
 }
 
 impl Default for DispatcherConfig {
@@ -172,6 +187,8 @@ impl Default for DispatcherConfig {
             deadline_factor: None,
             deadline_floor: SimDuration::from_micros(500),
             shed_watermark: None,
+            dag_dispatch: false,
+            fastpath_occupancy_pct: 75,
         }
     }
 }
@@ -246,6 +263,13 @@ struct RegisteredModel {
     /// [`LoadSignal`](crate::types::LoadSignal) remaining-work aggregate
     /// updates in O(1) per event instead of rescanning every job per poll.
     left: Vec<f64>,
+    /// The pre-validated kernel DAG (dense successor lists + predecessor
+    /// counts), built once here so per-job ingest can copy the counts and
+    /// the event-triggered fast path can walk successors unconditionally.
+    dag: KernelDag,
+    /// Kernel descriptors indexed by kernel location, for O(1) lookup on
+    /// the dispatch hot path (`model.kernels().nth(loc)` is O(K)).
+    kernel_descs: Vec<KernelDesc>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -283,8 +307,17 @@ struct Job {
     last_dispatched: bool,
     /// Accumulated framework CPU time attributed to this job.
     framework: SimDuration,
-    /// Tokens already released in the waitlist.
-    released_bits: std::collections::HashSet<u64>,
+    /// Tokens already released in the waitlist: a dense bitset, one bit per
+    /// op (tokens are compact indices into `ops`). Replaces a per-job
+    /// `HashSet<u64>` — the release path is per-kernel hot, and hashing a
+    /// compact index to test membership wastes both time and an allocation.
+    released_ops: ReleasedSet,
+    /// Per-op unreleased-predecessor counts over the model's [`KernelDag`]
+    /// (kernel granularity only; empty in job mode). An op activates exactly
+    /// when its count hits zero — maintained on *every* release so the
+    /// event-triggered fast path can take over mid-job, and cross-validated
+    /// against the waitlist diff in debug builds on the slow path.
+    preds_left: Vec<u32>,
     /// Deadline instant, when a deadline factor is configured (SLO ledger).
     deadline_at: Option<SimTime>,
     /// -- journey accumulators (DESIGN §12): raw per-cause wait time, -----
@@ -421,6 +454,9 @@ pub struct Dispatcher {
     /// Rendered flight-recorder dumps from terminal failures, awaiting
     /// [`take_postmortems`](Self::take_postmortems).
     postmortems: Vec<String>,
+    /// The job currently served by the event-triggered DAG fast path, if
+    /// any (`dag_dispatch` only). `None` whenever the device is contended.
+    fast_job: Option<JobId>,
 }
 
 /// Flight-recorder ring depth: the last N traced events kept for post-mortem
@@ -483,6 +519,7 @@ impl Dispatcher {
             next_sample: SimTime::ZERO,
             last_charge: (0, SimTime::ZERO),
             postmortems: Vec::new(),
+            fast_job: None,
         }
     }
 
@@ -565,6 +602,15 @@ impl Dispatcher {
                 }
             }
         }
+        // Whole-DAG submission artifact: dense successor lists + predecessor
+        // counts, cycle/shape-checked once here so every later per-job use
+        // (pred-count copies at ingest, successor walks at release) can
+        // trust it unconditionally.
+        let dag = match KernelDag::build(&compiled) {
+            Ok(d) => d,
+            Err(e) => panic!("model {:?}: unschedulable stream plan: {e}", compiled.name),
+        };
+        let kernel_descs: Vec<KernelDesc> = compiled.kernels().cloned().collect();
         let profile = bootstrap_profile(model);
         let uncontended = paella_models_measure(&compiled, self.gpu.config());
         let id = ModelId(self.models.len() as u32);
@@ -574,6 +620,8 @@ impl Dispatcher {
             profile,
             uncontended,
             left,
+            dag,
+            kernel_descs,
         });
         id
     }
@@ -841,7 +889,20 @@ impl Dispatcher {
         while self.next_sample <= self.now {
             let at = self.next_sample;
             self.next_sample = at + SAMPLE_INTERVAL;
-            let ready = self.scheduler.ready_len() as u64;
+            // The fast-path job is deregistered from the scheduler but still
+            // runnable; count it so the ready series stays honest.
+            let mut ready = self.scheduler.ready_len() as u64;
+            if let Some(id) = self.fast_job {
+                if self.jobs.get(&id).is_some_and(|j| {
+                    j.is_ready()
+                        && matches!(
+                            j.next_active().map(|t| j.ops[t as usize]),
+                            Some(OpKind::Kernel(_))
+                        )
+                }) {
+                    ready += 1;
+                }
+            }
             let inflight = self.jobs.len() as u64;
             let waiters = self.stream_waiters.len() as u64;
             let backlog = self.notifq_outstanding;
@@ -1009,10 +1070,8 @@ impl Dispatcher {
                 op_vstreams.push(vs);
                 // invariant: register_model replayed this exact schedule
                 // through a scratch waitlist and panicked on cycles, so every
-                // ingest-time push is admissible.
-                let active = waitlist
-                    .push_with_deps(VStream(vs), token as u64, &deps)
-                    .expect("schedule validated at registration");
+                // ingest-time push is admissible and skips the cycle search.
+                let active = waitlist.push_prevalidated(VStream(vs), token as u64, &deps);
                 if active {
                     initially_active.push(token as u64);
                 }
@@ -1023,7 +1082,27 @@ impl Dispatcher {
         vstreams.dedup();
         let kernel_count = kernel_loc;
         let total_estimate = self.models[model_idx].profile.total_estimate();
+        // Kernel granularity activates ops by predecessor counting over the
+        // model DAG (kept in lockstep with the waitlist; the fast path runs
+        // on it alone). Job mode forces sequential single-stream execution,
+        // which the schedule-derived DAG does not describe — leave empty.
+        let preds_left = match self.cfg.granularity {
+            Granularity::Kernel => self.models[model_idx].dag.pred_counts().to_vec(),
+            Granularity::Job => Vec::new(),
+        };
+        debug_assert!(
+            self.cfg.granularity != Granularity::Kernel || {
+                let roots: Vec<u64> = self.models[model_idx]
+                    .dag
+                    .roots()
+                    .map(|t| t as u64)
+                    .collect();
+                roots == initially_active
+            },
+            "KernelDag roots diverge from the waitlist's initial active set"
+        );
 
+        let op_count = ops.len();
         let job = Job {
             request: req,
             waitlist,
@@ -1040,7 +1119,8 @@ impl Dispatcher {
             ingested_at: t_ingested,
             last_dispatched: false,
             framework: self.cfg.ingest_cost,
-            released_bits: std::collections::HashSet::new(),
+            released_ops: ReleasedSet::with_capacity(op_count),
+            preds_left,
             deadline_at: None,
             backoff_ns: 0,
             dep_since: None,
@@ -1212,10 +1292,9 @@ impl Dispatcher {
                 self.next_kernel_uid += 1;
                 let desc = {
                     let j = &self.jobs[&id];
-                    let m = &self.models[j.request.model.0 as usize].model;
                     // invariant: ingest derived `loc` by enumerating this
                     // same model's kernels, and models are append-only.
-                    m.kernels().nth(loc).expect("kernel location").clone()
+                    self.models[j.request.model.0 as usize].kernel_descs[loc].clone()
                 };
                 {
                     let grid_blocks = desc.grid_blocks;
@@ -1293,6 +1372,13 @@ impl Dispatcher {
         if self.cfg.granularity != Granularity::Kernel {
             return;
         }
+        if self.cfg.dag_dispatch {
+            self.fastpath_transition();
+            if let Some(id) = self.fast_job {
+                self.fast_dispatch(id);
+                return;
+            }
+        }
         let mut spin_guard = 0u64;
         while let Some((job, rationale)) = self.scheduler.pick_next_explained() {
             spin_guard += 1;
@@ -1325,10 +1411,9 @@ impl Dispatcher {
             if self.cfg.hold_for_occupancy {
                 let (fp, blocks) = {
                     let j = &self.jobs[&job];
-                    let m = &self.models[j.request.model.0 as usize].model;
                     // invariant: `loc` was enumerated from this model's
                     // kernels at ingest (see dispatch_op).
-                    let k = m.kernels().nth(loc).expect("kernel loc");
+                    let k = &self.models[j.request.model.0 as usize].kernel_descs[loc];
                     (k.footprint, k.grid_blocks)
                 };
                 if !self
@@ -1373,6 +1458,9 @@ impl Dispatcher {
                         ready,
                     });
             }
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("sched_picks", 1);
+            }
             self.scheduler.on_dispatched(job);
             {
                 // invariant: the next_active() guard at loop top returned
@@ -1386,9 +1474,162 @@ impl Dispatcher {
         }
     }
 
+    // -- event-triggered DAG fast path (DESIGN §15) -------------------------
+
+    /// Whether the software occupancy mirror sits at or above the fast-path
+    /// watermark — "contended" even with a single job in flight.
+    fn occupancy_above_watermark(&self) -> bool {
+        let capacity = u64::from(self.gpu.config().num_sms)
+            * u64::from(self.gpu.config().sm_limits.max_blocks);
+        self.occupancy.resident_blocks() * 100 >= self.cfg.fastpath_occupancy_pct * capacity.max(1)
+    }
+
+    /// The fast-path state machine, evaluated once per dispatch pass:
+    /// enter when exactly one job is in flight and the device is below the
+    /// occupancy watermark; exit the moment either stops holding. Finish
+    /// and cancel clear the state on their own paths.
+    fn fastpath_transition(&mut self) {
+        let contended = self.jobs.len() > 1 || self.occupancy_above_watermark();
+        match self.fast_job {
+            Some(id) => {
+                if !self.jobs.contains_key(&id) {
+                    // Finished/cancelled under us; exit already traced there.
+                    self.fast_job = None;
+                } else if contended {
+                    let reason = if self.jobs.len() > 1 {
+                        "contended"
+                    } else {
+                        "occupancy"
+                    };
+                    self.fastpath_exit(reason);
+                }
+            }
+            None => {
+                if !contended && self.jobs.len() == 1 {
+                    // invariant: the guard above checked len == 1; min() is
+                    // an order-insensitive terminal, so hash order never
+                    // leaks into the decision (R6).
+                    let id = *self.jobs.keys().min().expect("len == 1");
+                    self.fast_job = Some(id);
+                    // The fast path owns dispatch now; deregister so the
+                    // arbitration loop never sees a phantom ready job.
+                    self.scheduler.job_blocked(id);
+                    self.tracer
+                        .record_with(self.now, || TraceEvent::FastPathEnter { job: id.0 });
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("fastpath_enters", 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Leaves the fast path and hands the job back to the arbitrating
+    /// scheduler: trace, count, and re-register its readiness.
+    fn fastpath_exit(&mut self, reason: &'static str) {
+        if let Some(id) = self.fast_job.take() {
+            self.tracer
+                .record_with(self.now, || TraceEvent::FastPathExit { job: id.0, reason });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("fastpath_exits", 1);
+            }
+            self.update_readiness(id);
+        }
+    }
+
+    /// The event-triggered dispatch loop: structurally [`try_dispatch`]'s
+    /// single-job iteration with the scheduler pick/charge removed. Every
+    /// gate (stream pool, occupancy budget, notifQ backpressure) holds with
+    /// the same traces, counters, and wait accounting, so an uncontended
+    /// job's completion schedule and journey are byte-identical to the
+    /// arbitrated path's (pinned by proptest).
+    ///
+    /// [`try_dispatch`]: Self::try_dispatch
+    fn fast_dispatch(&mut self, id: JobId) {
+        loop {
+            // Non-kernel ops auto-dispatch, exactly as the slow loop does
+            // before consulting the occupancy gate.
+            self.dispatch_auto_ops(id, self.now);
+            let Some(j) = self.jobs.get(&id) else { return };
+            let ready = j.is_ready()
+                && matches!(
+                    j.next_active().map(|t| j.ops[t as usize]),
+                    Some(OpKind::Kernel(_))
+                );
+            if !ready {
+                return;
+            }
+            // invariant: `ready` above proved the front op exists and is a
+            // kernel.
+            let token = j.next_active().expect("ready job has an active op");
+            let OpKind::Kernel(loc) = j.ops[token as usize] else {
+                unreachable!("ready predicate admits only kernel fronts")
+            };
+            if !j.has_streams() {
+                self.tracer
+                    .record_with(self.now, || TraceEvent::OccupancyHold {
+                        job: id.0,
+                        reason: HoldReason::StreamPool,
+                    });
+                self.mark_occ_hold(id);
+                return;
+            }
+            if self.cfg.hold_for_occupancy {
+                let (fp, blocks) = {
+                    let j = &self.jobs[&id];
+                    let k = &self.models[j.request.model.0 as usize].kernel_descs[loc];
+                    (k.footprint, k.grid_blocks)
+                };
+                if !self
+                    .occupancy
+                    .should_dispatch(&fp, self.cfg.lookahead_blocks)
+                {
+                    self.tracer
+                        .record_with(self.now, || TraceEvent::OccupancyHold {
+                            job: id.0,
+                            reason: HoldReason::OccupancyBudget,
+                        });
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("occupancy_holds", 1);
+                    }
+                    self.mark_occ_hold(id);
+                    return;
+                }
+                if self.cfg.instrument
+                    && self.notifq_outstanding + 2 * u64::from(blocks) > self.cfg.notifq_capacity
+                {
+                    self.tracer
+                        .record_with(self.now, || TraceEvent::OccupancyHold {
+                            job: id.0,
+                            reason: HoldReason::NotifqBackpressure,
+                        });
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("notifq_holds", 1);
+                    }
+                    self.mark_occ_hold(id);
+                    return;
+                }
+            }
+            {
+                // invariant: the ready predicate above proved the job is
+                // present with a non-empty active queue.
+                let j = self.jobs.get_mut(&id).expect("job exists");
+                j.active_undispatched.pop_front();
+            }
+            self.dispatch_op(id, token, self.now, false);
+            self.dispatch_auto_ops(id, self.now);
+            self.update_readiness(id);
+        }
+    }
+
     /// Syncs a job's readiness with the scheduler, closing/opening the
-    /// dependency-wait interval on the transition.
+    /// dependency-wait interval on the transition. For the fast-path job the
+    /// dependency accounting (and its DepWait trace) runs identically but
+    /// the scheduler registration — and the O(kernels) remaining-estimate
+    /// recompute feeding it — is skipped: the fast path dispatches without
+    /// arbitration, and `fastpath_exit` re-registers on handoff.
     fn update_readiness(&mut self, id: JobId) {
+        let fast = self.fast_job == Some(id);
         let Some(j) = self.jobs.get_mut(&id) else {
             self.scheduler.job_blocked(id);
             return;
@@ -1402,23 +1643,27 @@ impl Dispatcher {
             if let Some(s) = j.dep_since.take() {
                 j.dep_wait_ns += self.now.saturating_since(s).as_nanos();
             }
-            let remaining = {
-                let m = &self.models[j.request.model.0 as usize];
-                m.profile.remaining(&j.done_counts)
-            };
-            self.scheduler.job_ready(JobInfo {
-                job: id,
-                client: j.request.client,
-                arrival: j.ingested_at,
-                total_estimate: j.total_estimate,
-                remaining_estimate: remaining,
-            });
+            if !fast {
+                let remaining = {
+                    let m = &self.models[j.request.model.0 as usize];
+                    m.profile.remaining(&j.done_counts)
+                };
+                self.scheduler.job_ready(JobInfo {
+                    job: id,
+                    client: j.request.client,
+                    arrival: j.ingested_at,
+                    total_estimate: j.total_estimate,
+                    remaining_estimate: remaining,
+                });
+            }
         } else {
             let newly_blocked = j.dep_since.is_none();
             if newly_blocked {
                 j.dep_since = Some(self.now);
             }
-            self.scheduler.job_blocked(id);
+            if !fast {
+                self.scheduler.job_blocked(id);
+            }
             if newly_blocked {
                 self.tracer
                     .record_with(self.now, || TraceEvent::OccupancyHold {
@@ -1566,19 +1811,75 @@ impl Dispatcher {
         SimDuration::from_micros_f64(profile.kernels[loc].time_us.mean())
     }
 
-    /// Marks an op released in the waitlist (idempotent per op).
-    fn release_op(&mut self, id: JobId, token: u64) {
+    /// The release bookkeeping shared by every path: marks `token` released,
+    /// maintains the job's DAG predecessor counts, and appends the
+    /// newly-activated tokens to its dispatch queue. Returns whether the op
+    /// was actually released (`false` = already released, idempotent no-op).
+    ///
+    /// On the event-triggered fast path the activations come from the
+    /// model's [`KernelDag`] successor walk — no waitlist active-set
+    /// re-scans. On the arbitrated path the waitlist diff stays
+    /// authoritative, and debug builds assert the DAG derivation matches it
+    /// exactly — every debug test run cross-validates the fast path's
+    /// activation rule against the waitlist's from-scratch semantics.
+    fn apply_release(&mut self, id: JobId, token: u64) -> bool {
+        let fast = self.fast_job == Some(id);
         let Some(j) = self.jobs.get_mut(&id) else {
-            return;
+            return false;
         };
         if j.released(token) {
-            return;
+            return false;
         }
         let vs = j.vstream(token);
-        let newly = j.waitlist.release(vs, token);
+        let mut dag_newly: Vec<u64> = Vec::new();
+        if !j.preds_left.is_empty() {
+            let dag = &self.models[j.request.model.0 as usize].dag;
+            for &s in dag.successors(token as usize) {
+                let left = &mut j.preds_left[s as usize];
+                debug_assert!(*left > 0, "KernelDag predecessor count underflow");
+                *left -= 1;
+                if *left == 0 {
+                    dag_newly.push(u64::from(s));
+                }
+            }
+            // The waitlist reports newly-active ops in stream-id order (at
+            // most one activation per stream per release); match it.
+            dag_newly.sort_unstable_by_key(|&t| j.op_vstreams[t as usize]);
+        }
+        let newly = if fast {
+            j.waitlist.release_quiet(vs, token);
+            dag_newly
+        } else {
+            let newly = j.waitlist.release(vs, token);
+            debug_assert!(
+                j.preds_left.is_empty() || newly == dag_newly,
+                "DAG-derived activations {dag_newly:?} diverge from waitlist {newly:?}"
+            );
+            newly
+        };
         j.mark_released(token);
+        let activated = newly.len() as u32;
         for t in newly {
             j.active_undispatched.push_back(t);
+        }
+        if fast {
+            self.tracer
+                .record_with(self.now, || TraceEvent::DagRelease {
+                    job: id.0,
+                    token,
+                    activated,
+                });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("dag_releases", 1);
+            }
+        }
+        true
+    }
+
+    /// Marks an op released in the waitlist (idempotent per op).
+    fn release_op(&mut self, id: JobId, token: u64) {
+        if !self.apply_release(id, token) {
+            return;
         }
         if self.cfg.granularity == Granularity::Kernel {
             self.dispatch_auto_ops(id, self.now);
@@ -1587,18 +1888,12 @@ impl Dispatcher {
     }
 
     fn complete_op(&mut self, id: JobId, token: u64, at: SimTime) {
+        self.apply_release(id, token);
         {
             let Some(j) = self.jobs.get_mut(&id) else {
                 return;
             };
             let vs = j.vstream(token);
-            if !j.released(token) {
-                let newly = j.waitlist.release(vs, token);
-                j.mark_released(token);
-                for t in newly {
-                    j.active_undispatched.push_back(t);
-                }
-            }
             j.waitlist.retire(vs, token);
             debug_assert!(
                 j.outstanding >= 1,
@@ -1617,6 +1912,17 @@ impl Dispatcher {
     }
 
     fn finish_job(&mut self, id: JobId, device_done: SimTime) {
+        if self.fast_job == Some(id) {
+            self.fast_job = None;
+            self.tracer
+                .record_with(self.now, || TraceEvent::FastPathExit {
+                    job: id.0,
+                    reason: "finished",
+                });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("fastpath_exits", 1);
+            }
+        }
         // invariant: the only caller just indexed self.jobs[&id] to test
         // done(), and jobs are removed nowhere else.
         let j = self.jobs.remove(&id).expect("finishing unknown job");
@@ -1850,6 +2156,16 @@ impl Dispatcher {
         let Some(mut j) = self.jobs.remove(&id) else {
             return; // already finished or cancelled (e.g. a stale deadline)
         };
+        if self.fast_job == Some(id) {
+            self.fast_job = None;
+            self.tracer.record_with(at, || TraceEvent::FastPathExit {
+                job: id.0,
+                reason: "cancelled",
+            });
+            if let Some(m) = self.metrics.as_mut() {
+                m.inc("fastpath_exits", 1);
+            }
+        }
         self.load_remove_job(j.request.model.0 as usize, &j.done_counts);
         self.scheduler.job_done(id);
         if let Some(n) = self.client_inflight.get_mut(&j.request.client) {
@@ -1955,11 +2271,59 @@ impl Dispatcher {
 
 impl Job {
     fn released(&self, token: u64) -> bool {
-        self.released_bits.contains(&token)
+        self.released_ops.contains(token)
     }
 
     fn mark_released(&mut self, token: u64) {
-        self.released_bits.insert(token);
+        self.released_ops.insert(token);
+    }
+}
+
+/// Dense released-token set: one bit per op, indexed by the compact token.
+/// This is the per-job structure behind release idempotency — it replaced a
+/// `HashSet<u64>` on the per-kernel release path, so a property test pins
+/// its semantics against the hash-set reference it displaced.
+#[doc(hidden)]
+#[derive(Clone, Debug, Default)]
+pub struct ReleasedSet {
+    bits: Vec<u64>,
+}
+
+impl ReleasedSet {
+    /// An empty set sized for `ops` tokens (`0..ops`).
+    #[must_use]
+    pub fn with_capacity(ops: usize) -> Self {
+        ReleasedSet {
+            bits: vec![0u64; ops.div_ceil(64)],
+        }
+    }
+
+    /// Whether `token` has been released.
+    #[must_use]
+    pub fn contains(&self, token: u64) -> bool {
+        let (word, bit) = ((token / 64) as usize, token % 64);
+        self.bits.get(word).is_some_and(|&w| (w >> bit) & 1 == 1)
+    }
+
+    /// Marks `token` released; returns whether it was newly inserted
+    /// (mirrors `HashSet::insert`).
+    pub fn insert(&mut self, token: u64) -> bool {
+        let (word, bit) = ((token / 64) as usize, token % 64);
+        let fresh = (self.bits[word] >> bit) & 1 == 0;
+        self.bits[word] |= 1 << bit;
+        fresh
+    }
+
+    /// Number of released tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no token has been released.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
     }
 }
 

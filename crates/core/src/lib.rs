@@ -28,7 +28,9 @@ pub mod types;
 pub mod waitlist;
 
 pub use batching::{BatchPolicy, SaturationBatcher};
-pub use dispatcher::{Dispatcher, DispatcherConfig, Granularity, StreamPolicy, WakeupMode};
+pub use dispatcher::{
+    Dispatcher, DispatcherConfig, Granularity, ReleasedSet, StreamPolicy, WakeupMode,
+};
 pub use mig::{partition_device, MigServing};
 pub use occupancy::OccupancyTracker;
 pub use remote::{RemoteGateway, RpcNetModel};

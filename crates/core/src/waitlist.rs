@@ -166,27 +166,7 @@ impl Waitlist {
         token: OpToken,
         deps: &[OpToken],
     ) -> Result<bool, WaitlistError> {
-        let kind = self.kind(s);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        match kind {
-            StreamKind::Default => {
-                self.default_unreleased.insert(seq);
-            }
-            StreamKind::Blocking => {
-                self.blocking_unreleased.insert(seq);
-            }
-            StreamKind::NonBlocking => {}
-        }
-        let q = self.streams.entry(s).or_default();
-        q.push_back(Entry {
-            token,
-            seq,
-            released: false,
-            deps: deps.to_vec(),
-        });
-        let pos = q.len() - 1;
-        self.len += 1;
+        let (kind, seq, pos) = self.admit(s, token, deps);
         if self.closes_wait_cycle(token) {
             // Roll the insertion back so the waitlist state is untouched.
             let q = self.streams.get_mut(&s).expect("stream inserted above");
@@ -212,6 +192,54 @@ impl Waitlist {
             return Err(WaitlistError::DepCycle { token });
         }
         Ok(self.entry_active(s, pos))
+    }
+
+    /// Like [`push_with_deps`](Self::push_with_deps), for schedules whose
+    /// admissibility is already proven. Paella replays each model's whole
+    /// schedule through a scratch waitlist once at `register_model` (and
+    /// rejects the model on a cycle), so the identical per-ingest replay
+    /// cannot close a wait cycle — re-running the O(n²) cycle search on
+    /// every push made ingest cubic in pipeline depth and dominated the
+    /// host cost of deep-pipeline jobs. Release builds skip the search;
+    /// debug builds keep it as an assertion.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the push does close a wait cycle (the caller
+    /// broke the pre-validation contract).
+    pub fn push_prevalidated(&mut self, s: VStream, token: OpToken, deps: &[OpToken]) -> bool {
+        let (_, _, pos) = self.admit(s, token, deps);
+        debug_assert!(
+            !self.closes_wait_cycle(token),
+            "pre-validated schedule closed a wait cycle at token {token}"
+        );
+        self.entry_active(s, pos)
+    }
+
+    /// Inserts one entry and its ordering bookkeeping, without checking for
+    /// wait cycles. Returns `(stream kind, seq, position in the stream)`.
+    fn admit(&mut self, s: VStream, token: OpToken, deps: &[OpToken]) -> (StreamKind, u64, usize) {
+        let kind = self.kind(s);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match kind {
+            StreamKind::Default => {
+                self.default_unreleased.insert(seq);
+            }
+            StreamKind::Blocking => {
+                self.blocking_unreleased.insert(seq);
+            }
+            StreamKind::NonBlocking => {}
+        }
+        let q = self.streams.entry(s).or_default();
+        q.push_back(Entry {
+            token,
+            seq,
+            released: false,
+            deps: deps.to_vec(),
+        });
+        self.len += 1;
+        (kind, seq, q.len() - 1)
     }
 
     /// Whether the just-pushed `new_token` sits on a wait cycle.
@@ -381,6 +409,41 @@ impl Waitlist {
             .collect()
     }
 
+    /// Releases an op *without* computing the newly-active diff — the
+    /// event-triggered fast path, where the caller derives activations from
+    /// a pre-validated [`KernelDag`] successor walk instead of the
+    /// before/after [`active`](Self::active) scans [`release`](Self::release)
+    /// pays for. All ordering state (released flags, unreleased seq sets,
+    /// released-token set) is updated identically, so a later handoff back
+    /// to [`release`](Self::release)/[`active`](Self::active) observes
+    /// exactly the state a plain release would have left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not the front unreleased op of `s` or the stream
+    /// is unknown, exactly like [`release`](Self::release).
+    pub fn release_quiet(&mut self, s: VStream, token: OpToken) {
+        let kind = self.kind(s);
+        let q = self.streams.get_mut(&s).expect("release on unknown stream");
+        let pos = q
+            .iter()
+            .position(|e| !e.released)
+            .expect("stream has no unreleased ops");
+        assert_eq!(q[pos].token, token, "out-of-order release on stream {s:?}");
+        q[pos].released = true;
+        let seq = q[pos].seq;
+        self.released_tokens.insert(token);
+        match kind {
+            StreamKind::Default => {
+                self.default_unreleased.remove(&seq);
+            }
+            StreamKind::Blocking => {
+                self.blocking_unreleased.remove(&seq);
+            }
+            StreamKind::NonBlocking => {}
+        }
+    }
+
     /// Retires a released op entirely (its resources are gone); used when a
     /// released-but-running op finally completes.
     ///
@@ -463,6 +526,36 @@ mod tests {
         assert_eq!(w.complete(s, 11), vec![12]);
         assert_eq!(w.complete(s, 12), Vec::<OpToken>::new());
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn push_prevalidated_matches_checked_push() {
+        // The ingest fast path and the checked push must agree on activation
+        // verdicts and produce identical waitlists for an acyclic schedule
+        // (here: two cross-joined streams plus a stream-0 barrier).
+        let plan: &[(u32, OpToken, &[OpToken])] = &[
+            (1, 0, &[]),
+            (2, 1, &[]),
+            (1, 2, &[1]),
+            (2, 3, &[0]),
+            (0, 4, &[2, 3]),
+            (1, 5, &[]),
+        ];
+        let mut checked = Waitlist::new();
+        let mut fast = Waitlist::new();
+        for &(s, t, deps) in plan {
+            let a = checked.push_with_deps(VStream(s), t, deps).unwrap();
+            let b = fast.push_prevalidated(VStream(s), t, deps);
+            assert_eq!(a, b, "activation verdict for token {t}");
+        }
+        assert_eq!(checked.active(), fast.active());
+        assert_eq!(checked.len(), fast.len());
+        // Releasing in a valid order keeps them in lockstep to empty.
+        for t in [0u64, 1, 2, 3, 4, 5] {
+            let s = VStream(plan[t as usize].0);
+            assert_eq!(checked.complete(s, t), fast.complete(s, t));
+        }
+        assert!(fast.is_empty());
     }
 
     #[test]
@@ -720,6 +813,33 @@ mod tests {
         // A fresh op on a blocking stream must not wait on the drained
         // stream-0 op: the unreleased sets were rolled back.
         assert!(push(&mut w, VStream(2), 9), "clean slate after drain");
+    }
+
+    #[test]
+    fn release_quiet_matches_release_state() {
+        // Quiet release leaves identical ordering state: the successor shows
+        // up in active() even though no diff was reported at release time.
+        let mut w = Waitlist::new();
+        push(&mut w, VStream::DEFAULT, 1);
+        push(&mut w, VStream(1), 2);
+        push(&mut w, VStream(1), 3);
+        assert_eq!(w.active(), vec![1]);
+        w.release_quiet(VStream::DEFAULT, 1);
+        assert_eq!(w.active(), vec![2], "serialization state updated");
+        w.retire(VStream::DEFAULT, 1);
+        // Handoff back to the diff-reporting release works seamlessly.
+        assert_eq!(w.complete(VStream(1), 2), vec![3]);
+        w.complete(VStream(1), 3);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order release")]
+    fn release_quiet_checks_order() {
+        let mut w = Waitlist::new();
+        push(&mut w, VStream(1), 1);
+        push(&mut w, VStream(1), 2);
+        w.release_quiet(VStream(1), 2);
     }
 
     #[test]

@@ -319,6 +319,29 @@ impl LlmEngine {
         std::mem::take(&mut self.llm_completions)
     }
 
+    /// From-scratch classification scan backing `load_signal`'s counts:
+    /// `(in_transit, arrived, structural_arrived)`. `in_transit`/`arrived`
+    /// re-derive the queued/inflight split from the `arrived` flag;
+    /// `structural_arrived` counts jobs present in the pending, running, or
+    /// kv-blocked structures (the sets may overlap: an SRPT-parked job stays
+    /// in `pending` while in `kv_blocked`). Tests assert all three agree
+    /// with the signal, pinning the classification against drift (R7).
+    #[doc(hidden)]
+    pub fn load_counts_scratch(&self) -> (u64, u64, u64) {
+        let in_transit = self.jobs.values().filter(|j| !j.arrived).count() as u64;
+        let arrived = self.jobs.len() as u64 - in_transit;
+        let structural = self
+            .jobs
+            .keys()
+            .filter(|id| {
+                self.pending.contains(id)
+                    || self.running.contains(id)
+                    || self.kv_blocked.contains(id)
+            })
+            .count() as u64;
+        (in_transit, arrived, structural)
+    }
+
     /// Fails every in-flight and pending request (client disconnect). KV
     /// pages are freed exactly once; `at` must not precede the engine's
     /// current virtual time.
@@ -461,11 +484,21 @@ impl LlmEngine {
             return;
         }
         if let Some(n) = self.client_jobs.get_mut(&client) {
-            *n = n.saturating_sub(1);
-            if *n == 0 {
-                self.client_jobs.remove(&client);
-                if let Some(s) = self.srpt.as_mut() {
-                    s.client_idle(client);
+            match n.checked_sub(1) {
+                Some(v) => {
+                    *n = v;
+                    if v == 0 {
+                        self.client_jobs.remove(&client);
+                        if let Some(s) = self.srpt.as_mut() {
+                            s.client_idle(client);
+                        }
+                    }
+                }
+                None => {
+                    debug_assert!(false, "client_jobs underflow for {client:?}");
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.inc("accounting_underflow", 1);
+                    }
                 }
             }
         }
@@ -954,13 +987,25 @@ impl ServingSystem for LlmEngine {
     }
 
     fn load_signal(&self) -> LoadSignal {
+        // Mirror the dispatcher's classification: "queued" is work the
+        // engine has accepted but not yet admitted (still in transit),
+        // while everything arrived — pending, running, or kv-blocked — is
+        // inflight. `jobs.len() - running.len()` would miscount parked and
+        // kv-blocked jobs as queued and undercount inflight.
         let mut remaining = 0u64;
+        let mut queued = 0u64;
+        let mut inflight = 0u64;
         for job in self.jobs.values() {
             remaining += job.remaining_estimate_ns(&self.cfg);
+            if job.arrived {
+                inflight += 1;
+            } else {
+                queued += 1;
+            }
         }
         LoadSignal {
-            queued: (self.jobs.len().saturating_sub(self.running.len())) as u64,
-            inflight: self.running.len() as u64,
+            queued,
+            inflight,
             remaining_work: SimDuration::from_nanos(remaining),
             kv_pages_used: self.pool.resident(),
             kv_pages_total: self.pool.total_pages(),

@@ -163,6 +163,69 @@ mod tests {
     }
 
     #[test]
+    fn load_signal_splits_queued_from_inflight() {
+        // A request submitted in the future is in transit: queued, not
+        // inflight. `jobs.len() - running.len()` would call an admitted but
+        // momentarily-idle sequence "queued"; the arrived-flag split must
+        // not.
+        let mut eng = engine(LlmPolicy::ContinuousBatching, 256);
+        for i in 0..4 {
+            eng.submit(InferenceRequest {
+                client: ClientId(i),
+                model: paella_core::types::ModelId(0),
+                submitted_at: SimTime::from_nanos(u64::from(i) * 1_000_000),
+            });
+        }
+        let s = eng.load_signal();
+        assert_eq!(s.queued, 4, "nothing has arrived yet");
+        assert_eq!(s.inflight, 0);
+        // Advance past the first arrival only: one inflight, three queued.
+        let t0 = eng.next_event_time().expect("arrival queued");
+        eng.advance_until(t0);
+        let s = eng.load_signal();
+        assert_eq!(s.queued, 3);
+        assert_eq!(s.inflight, 1);
+        let (in_transit, arrived, structural) = eng.load_counts_scratch();
+        assert_eq!((s.queued, s.inflight), (in_transit, arrived));
+        assert_eq!(arrived, structural, "every arrived job is tracked");
+        eng.run_to_idle();
+        let s = eng.load_signal();
+        assert_eq!((s.queued, s.inflight), (0, 0));
+    }
+
+    #[test]
+    fn client_accounting_never_underflows() {
+        // Mid-flight disconnects hit `detach` for arrived and unarrived
+        // jobs alike; the per-client ledger must balance without tripping
+        // the checked-subtraction underflow counter.
+        let mut eng = engine(LlmPolicy::SrptDeficit, 64);
+        eng.enable_telemetry();
+        for i in 0..12 {
+            eng.submit(InferenceRequest {
+                client: ClientId(i % 3),
+                model: paella_core::types::ModelId(0),
+                submitted_at: SimTime::from_nanos(u64::from(i) * 50_000),
+            });
+        }
+        for _ in 0..8 {
+            if let Some(t) = eng.next_event_time() {
+                eng.advance_until(t);
+            }
+        }
+        eng.cancel_all(SimTime::from_nanos(10_000_000));
+        eng.run_to_idle();
+        let snap = eng.metrics_snapshot().expect("telemetry on");
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == "accounting_underflow")
+                .map_or(0, |(_, v)| *v),
+            0,
+            "client_jobs ledger must never go negative"
+        );
+    }
+
+    #[test]
     fn cancel_all_frees_every_page() {
         let mut eng = engine(LlmPolicy::SrptDeficit, 64);
         for i in 0..12 {

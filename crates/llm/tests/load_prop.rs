@@ -1,0 +1,74 @@
+//! Property test pinning the `load_signal` queued/inflight classification.
+//!
+//! The signal splits jobs on the `arrived` flag: queued means the request is
+//! still in transit to the engine, inflight means it has arrived (pending
+//! admission, running, or KV-parked). The test replays random workloads
+//! event-by-event and re-derives the split from scratch at every step —
+//! both from the per-job flags and structurally from the pending/running/
+//! kv-blocked sets — so the fast classification can never drift from the
+//! dispatcher's semantics (the old `jobs.len() - running.len()` formula
+//! miscounted parked jobs as queued).
+
+use proptest::prelude::*;
+
+use paella_core::types::{ClientId, InferenceRequest, ModelId};
+use paella_core::ServingSystem;
+use paella_llm::{LlmEngine, LlmEngineConfig, LlmModelSpec, LlmPolicy};
+use paella_sim::SimTime;
+
+fn engine(policy: LlmPolicy, pages: u64, seed: u64) -> LlmEngine {
+    let mut cfg = LlmEngineConfig::new(policy);
+    cfg.kv_pages_total = pages;
+    cfg.seed = seed;
+    let mut eng = LlmEngine::new(cfg);
+    eng.add_model(LlmModelSpec::chat("llama-7b", 96.0, 24.0));
+    eng
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn load_signal_matches_from_scratch_scan(
+        srpt in any::<bool>(),
+        pages_ix in 0usize..3,
+        seed in 0u64..1_000,
+        arrivals in proptest::collection::vec((0u32..5, 0u64..400_000), 1..24),
+    ) {
+        let pages = [48u64, 256, 4096][pages_ix];
+        let policy = if srpt { LlmPolicy::SrptDeficit } else { LlmPolicy::ContinuousBatching };
+        let mut eng = engine(policy, pages, seed);
+        let total = arrivals.len();
+        for (client, at_ns) in arrivals {
+            eng.submit(InferenceRequest {
+                client: ClientId(client),
+                model: ModelId(0),
+                submitted_at: SimTime::from_nanos(at_ns),
+            });
+        }
+        let mut steps = 0usize;
+        loop {
+            let s = eng.load_signal();
+            let (in_transit, arrived, structural) = eng.load_counts_scratch();
+            prop_assert_eq!(s.queued, in_transit, "queued is the in-transit count");
+            prop_assert_eq!(s.inflight, arrived, "inflight is the arrived count");
+            prop_assert_eq!(
+                arrived, structural,
+                "every arrived job sits in pending, running, or kv_blocked"
+            );
+            prop_assert_eq!(
+                s.queued + s.inflight,
+                (in_transit + arrived),
+                "the split partitions the job table"
+            );
+            let Some(t) = eng.next_event_time() else { break };
+            eng.advance_until(t);
+            steps += 1;
+            prop_assert!(steps < 200_000, "engine failed to drain");
+        }
+        let done = eng.drain_completions().len() + eng.drain_failures().len();
+        prop_assert_eq!(done, total, "every request completes or fails");
+        let end = eng.load_signal();
+        prop_assert_eq!((end.queued, end.inflight), (0, 0));
+    }
+}
